@@ -1,0 +1,70 @@
+"""Experiment E6 — the security manager's cost (§4).
+
+"If a cluster can be judged secure ... the security manager can be
+disabled in favor of a performance gain."
+
+We run the Table-1 primes workload with the security layer on and off and
+measure the gain of disabling it.  With coarse microthreads the difference
+is small (the paper's implicit premise for leaving it on in hostile
+networks); a fine-grained run makes the cost visible.
+"""
+
+from __future__ import annotations
+
+from repro.bench import calibrated_test_params, render_table, run_primes
+from repro.bench.harness import bench_config
+from repro.common.config import SecurityConfig
+
+from bench_util import write_result
+
+P, WIDTH, SITES = 100, 10, 4
+
+
+def run_security(enabled: bool, scale: float, base: float) -> float:
+    config = bench_config(security=SecurityConfig(
+        enabled=enabled, cluster_password="bench"))
+    duration, cluster = run_primes(P, WIDTH, SITES, scale, base,
+                                   config=config)
+    if enabled:
+        sealed = sum(s.security_manager.layer.messages_sealed
+                     for s in cluster.sites)
+        assert sealed > 0, "security on but nothing was sealed"
+    return duration
+
+
+def test_encryption_overhead(benchmark):
+    results = {}
+
+    def sweep():
+        paper_scale, paper_base = calibrated_test_params(P, WIDTH)
+        results["paper granularity"] = (
+            run_security(False, paper_scale, paper_base),
+            run_security(True, paper_scale, paper_base))
+        results["fine grained (x100 smaller)"] = (
+            run_security(False, paper_scale / 100, paper_base / 100),
+            run_security(True, paper_scale / 100, paper_base / 100))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, (plain, sealed) in results.items():
+        gain = 100.0 * (sealed - plain) / plain
+        rows.append([name, f"{plain:.3f}s", f"{sealed:.3f}s",
+                     f"{gain:.2f} %"])
+    write_result("encryption", render_table(
+        "E6: security manager on/off (primes p=100 w=10, 4 sites)",
+        ["granularity", "plaintext", "encrypted", "encryption cost"],
+        rows))
+
+    for name, (plain, sealed) in results.items():
+        # disabling the security manager is a gain (within scheduling noise
+        # at coarse granularity, where crypto cost is ~0.1 %)
+        assert sealed >= plain * 0.97, (name, plain, sealed)
+    fine_plain, fine_sealed = results["fine grained (x100 smaller)"]
+    coarse_plain, coarse_sealed = results["paper granularity"]
+    fine_cost = (fine_sealed - fine_plain) / fine_plain
+    coarse_cost = (coarse_sealed - coarse_plain) / coarse_plain
+    # the relative cost grows as messages dominate
+    assert fine_cost > coarse_cost
+    benchmark.extra_info["coarse_cost_pct"] = round(100 * coarse_cost, 3)
+    benchmark.extra_info["fine_cost_pct"] = round(100 * fine_cost, 3)

@@ -1,0 +1,72 @@
+"""Experiment E8 — dynamic entry and exit at run time (§3.4, §2.2).
+
+Claims reproduced:
+
+* a site joining mid-run "will quickly get work and then assist executing
+  the running programs" — adding sites mid-run shortens completion;
+* an orderly sign-off relocates all microframes and memory "without
+  disturbing the program flow" — the result stays correct and the cost of
+  a departure is bounded;
+* "resources can be added to cope with short term peeks" — grow-then-
+  shrink completes correctly.
+"""
+
+from __future__ import annotations
+
+from repro.apps import build_primes_program, first_n_primes
+from repro.bench import calibrated_test_params, render_table
+from repro.bench.harness import bench_config
+from repro.site.simcluster import SimCluster
+
+from bench_util import write_result
+
+P, WIDTH = 100, 10
+
+
+def run_scenario(name: str, nsites: int, joins=(), leaves=()):
+    scale, base = calibrated_test_params(P, WIDTH)
+    cluster = SimCluster(nsites=nsites, config=bench_config())
+    handle = cluster.submit(build_primes_program(),
+                            args=(P, WIDTH, scale, base))
+    for at in joins:
+        cluster.add_site(at=at)
+    for index, at in leaves:
+        cluster.sign_off_site(index, at=at)
+    cluster.run(progress_timeout=600.0)
+    assert handle.result == first_n_primes(P), name
+    return handle.duration
+
+
+def test_join_leave(benchmark):
+    results = {}
+
+    def sweep():
+        results["2 static"] = run_scenario("static2", 2)
+        results["4 static"] = run_scenario("static4", 4)
+        results["2 + 2 join at t=1s"] = run_scenario(
+            "grow", 2, joins=(1.0, 1.0))
+        results["4, 2 leave at t=1s"] = run_scenario(
+            "shrink", 4, leaves=((3, 1.0), (2, 1.2)))
+        results["2 + 2 join, then both leave"] = run_scenario(
+            "burst", 2, joins=(1.0, 1.0), leaves=((2, 4.0), (3, 4.2)))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[name, f"{duration:.2f}s"] for name, duration in results.items()]
+    write_result("join_leave", render_table(
+        "E8: elastic cluster scenarios (primes p=100 w=10; paper T1 ~ 34 s, "
+        "T4 ~ 10 s)",
+        ["scenario", "completion"],
+        rows))
+    for name, duration in results.items():
+        benchmark.extra_info[name] = round(duration, 2)
+
+    static2 = results["2 static"]
+    static4 = results["4 static"]
+    grow = results["2 + 2 join at t=1s"]
+    shrink = results["4, 2 leave at t=1s"]
+    # joiners demonstrably accelerate the run
+    assert grow < static2 * 0.75
+    assert grow > static4 * 0.95  # but late joiners can't beat 4-from-start
+    # departures cost something but stay well under the 2-site time
+    assert static4 < shrink < static2 * 1.1

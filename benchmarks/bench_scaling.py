@@ -1,0 +1,51 @@
+"""Experiment E10 — decentralized scheduling has no structural bottleneck
+(§2.2).
+
+"No structure-related bottlenecks may occur, as all functionality is
+available on all sites of the cluster and can be used decentralized.
+Therefore the cluster is essentially scalable to any desired size."
+
+We scale the primes workload (width grown with the cluster, as a user
+would) from 1 to 32 sites and check throughput keeps rising — the curve
+bends (steal traffic, collector serialization) but never inverts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import calibrated_test_params, render_table, run_primes
+
+from bench_util import write_result
+
+P = 100
+SITES = (1, 2, 4, 8, 16, 32)
+
+
+def test_scaling(benchmark):
+    durations = {}
+
+    def sweep():
+        scale, base = calibrated_test_params(P, 10)
+        for nsites in SITES:
+            width = max(10, 2 * nsites)  # give big clusters enough lanes
+            durations[nsites] = run_primes(P, width, nsites, scale, base,
+                                           progress_timeout=600.0)[0]
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    t1 = durations[1]
+    rows = [[n, f"{durations[n]:.2f}s", f"{t1 / durations[n]:.2f}",
+             f"{t1 / durations[n] / n * 100:.0f} %"]
+            for n in SITES]
+    write_result("scaling", render_table(
+        f"E10: scaling the cluster (primes p={P}, width = max(10, 2n))",
+        ["sites", "duration", "speedup", "efficiency"],
+        rows))
+    for n in SITES:
+        benchmark.extra_info[f"speedup_{n}"] = round(t1 / durations[n], 2)
+
+    # monotone improvement all the way up
+    ordered = [durations[n] for n in SITES]
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger < smaller
+    # no collapse at 32 sites: at least ~40% efficiency
+    assert t1 / durations[32] > 0.4 * 32

@@ -1,0 +1,85 @@
+"""Experiment T1 — reproduce Table 1 of the paper (§5).
+
+"On a cluster of identical machines (Pentium IV, 1.7 GHz), a value for the
+speedup is shown in Table 1" — p primes, width candidates in flight, on 1,
+4, and 8 sites.  The 1-site column is calibrated (per (p, width) row) so an
+ideal sequential execution matches the paper's seconds; the 4- and 8-site
+columns — and therefore the speedups — are measured.
+
+Paper speedups: 3.4–3.5 (4 sites, width 10), 3.5–3.6 (4 sites, width 20),
+6.4–6.6 (8 sites, width 10), 6.9–7.0 (8 sites, width 20).
+
+Default sweep: p in {100, 200}; set SDVM_BENCH_FULL=1 for the full
+{100, 200, 500, 1000}.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    PAPER_TABLE1,
+    calibrated_test_params,
+    render_table,
+    run_primes,
+)
+from repro.bench.harness import FULL_SWEEP
+
+from bench_util import write_result
+
+P_VALUES = (100, 200, 500, 1000) if FULL_SWEEP else (100, 200)
+WIDTHS = (10, 20)
+SITES = (1, 4, 8)
+
+
+def test_table1_primes(benchmark):
+    measured = {}
+
+    def sweep():
+        for width in WIDTHS:
+            for p in P_VALUES:
+                scale, base = calibrated_test_params(p, width)
+                times = {}
+                for nsites in SITES:
+                    duration, _cluster = run_primes(p, width, nsites,
+                                                    scale, base)
+                    times[nsites] = duration
+                measured[(p, width)] = times
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for width in WIDTHS:
+        for p in P_VALUES:
+            t1, t4, t8 = (measured[(p, width)][n] for n in SITES)
+            paper_t1, paper_t4, paper_t8 = PAPER_TABLE1[(p, width)]
+            rows.append([
+                p, width,
+                f"{t1:.1f}s", f"{t4:.1f}s ({t1 / t4:.1f})",
+                f"{t8:.1f}s ({t1 / t8:.1f})",
+                f"{paper_t1:.1f}s",
+                f"{paper_t4:.1f}s ({paper_t1 / paper_t4:.1f})",
+                f"{paper_t8:.1f}s ({paper_t1 / paper_t8:.1f})",
+            ])
+            benchmark.extra_info[f"S4_p{p}_w{width}"] = round(t1 / t4, 2)
+            benchmark.extra_info[f"S8_p{p}_w{width}"] = round(t1 / t8, 2)
+
+    write_result("table1_primes", render_table(
+        "Table 1 reproduction: primes on 1/4/8 sites (measured | paper)",
+        ["p", "width", "1 site", "4 sites (S)", "8 sites (S)",
+         "paper 1", "paper 4 (S)", "paper 8 (S)"],
+        rows))
+
+    for (p, width), times in measured.items():
+        t1, t4, t8 = times[1], times[4], times[8]
+        paper_t1, paper_t4, paper_t8 = PAPER_TABLE1[(p, width)]
+        # T1 is calibrated: it must land within a few percent of the paper
+        assert abs(t1 - paper_t1) / paper_t1 < 0.05, (p, width, t1)
+        # speedup *shape*: who wins and by roughly what factor
+        s4, s8 = t1 / t4, t1 / t8
+        paper_s4, paper_s8 = paper_t1 / paper_t4, paper_t1 / paper_t8
+        assert abs(s4 - paper_s4) / paper_s4 < 0.25, (p, width, s4, paper_s4)
+        assert abs(s8 - paper_s8) / paper_s8 < 0.30, (p, width, s8, paper_s8)
+        assert s8 > s4 > 1.0
+    # width 20 beats width 10 on 8 sites (more slack over the barrier)
+    for p in P_VALUES:
+        assert (measured[(p, 20)][8] / measured[(p, 20)][1]
+                <= 1.02 * measured[(p, 10)][8] / measured[(p, 10)][1] + 1)

@@ -1,0 +1,14 @@
+"""Shared plumbing for the benchmark suite: result-file writing."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a benchmark's table so it survives pytest's capture."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)

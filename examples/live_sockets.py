@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""The live runtime: real daemons, real TCP sockets, real processes.
+
+Three deployments of the same program:
+
+1. in-process threads (queue loopback) — fastest to spin up;
+2. in-process threads over real 127.0.0.1 TCP sockets;
+3. worker sites as separate OS processes over TCP — one daemon per
+   process, the paper's one-daemon-per-machine model, with true multi-core
+   parallelism.
+
+    python examples/live_sockets.py
+"""
+
+import time
+
+from repro.common.config import CostModel, SchedulingConfig, SDVMConfig
+from repro.core.program import ProgramBuilder
+from repro.runtime.live_cluster import LiveCluster
+from repro.runtime.multiproc import (
+    spawn_workers,
+    stop_workers,
+    wait_for_cluster_size,
+)
+
+N_TASKS, LOOPS = 48, 200_000
+CFG = SDVMConfig(
+    cost=CostModel(compile_fixed_cost=1e-4),
+    scheduling=SchedulingConfig(ready_target=1, keep_local_min=0))
+
+#: one worker thread per site: CPU-bound microthreads gain nothing from
+#: intra-process parallelism (GIL), and a lean site leaves more frames
+#: stealable — the paper's "should leave enough work for other sites"
+def one_worker_sites(count, prefix):
+    from repro.common.config import SiteConfig
+    return [SiteConfig(name=f"{prefix}{i}", max_parallel=1)
+            for i in range(count)]
+
+
+def heavy_program():
+    """Fan-out of genuinely CPU-heavy tasks (~10 ms of real Python each),
+    so work actually spreads over live sites and, with worker *processes*,
+    runs on multiple cores in parallel."""
+    prog = ProgramBuilder("heavy")
+
+    @prog.microthread(creates=("crunch", "collect"))
+    def main(ctx, n, loops):
+        ctx.charge(10)
+        collector = ctx.create_frame("collect", nparams=n)
+        for i in range(n):
+            worker = ctx.create_frame("crunch", targets=[(collector, i)])
+            ctx.send_result(worker, 0, i)
+            ctx.send_result(worker, 1, loops)
+
+    @prog.microthread
+    def crunch(ctx, seed, loops):
+        acc = 0
+        for k in range(loops):
+            acc = (acc + (k ^ seed) * k) % 1000003
+        ctx.charge(loops)
+        ctx.send_to_targets(acc)
+
+    @prog.microthread
+    def collect(ctx, *values):
+        ctx.charge(10)
+        ctx.exit_program(sum(values) % 1000003)
+
+    return prog.build()
+
+
+def expected_result():
+    total = 0
+    for seed in range(N_TASKS):
+        acc = 0
+        for k in range(LOOPS):
+            acc = (acc + (k ^ seed) * k) % 1000003
+        total += acc
+    return total % 1000003
+
+
+def run_threads(transport: str, expected: int) -> float:
+    started = time.perf_counter()
+    with LiveCluster(site_configs=one_worker_sites(4, "t"),
+                     config=CFG, transport=transport) as cluster:
+        result = cluster.run(heavy_program(), args=(N_TASKS, LOOPS),
+                             timeout=120)
+        assert result == expected
+        elapsed = time.perf_counter() - started
+        execs = [site.processing_manager.stats.get("executions").count
+                 for site in cluster.sites]
+    print(f"  threads/{transport:7s}: {N_TASKS} tasks in {elapsed:5.2f}s "
+          f"wall, executions per site {execs}")
+    return elapsed
+
+
+def run_multiprocess(expected: int) -> float:
+    started = time.perf_counter()
+    with LiveCluster(site_configs=one_worker_sites(1, "front"),
+                     config=CFG, transport="tcp") as cluster:
+        addr = cluster.sites[0].kernel.local_physical()
+        print(f"  frontend daemon on {addr}; spawning 3 worker processes "
+              f"(one GIL each)...")
+        workers = spawn_workers(3, addr, CFG,
+                                site_configs=one_worker_sites(3, "w"))
+        try:
+            assert wait_for_cluster_size(cluster.sites[0], 4, timeout=20)
+            result = cluster.run(heavy_program(), args=(N_TASKS, LOOPS),
+                                 timeout=180)
+            assert result == expected
+            elapsed = time.perf_counter() - started
+            local_execs = cluster.sites[0].processing_manager.stats.get(
+                "executions").count
+            print(f"  4-process cluster: {N_TASKS} tasks in "
+                  f"{elapsed:5.2f}s wall "
+                  f"({local_execs} ran on the frontend, the rest on "
+                  f"worker processes)")
+        finally:
+            stop_workers(workers)
+    return elapsed
+
+
+def main() -> None:
+    import os
+    cores = os.cpu_count() or 1
+    print(f"live SDVM cluster, three deployments of the same program "
+          f"({cores} core(s) available):")
+    expected = expected_result()
+    thread_time = run_threads("inproc", expected)
+    run_threads("tcp", expected)
+    process_time = run_multiprocess(expected)
+    ratio = thread_time / process_time
+    if cores > 1:
+        print(f"all deployments returned the correct result; processes vs "
+              f"threads: {ratio:.1f}x (separate GILs -> real parallelism)")
+    else:
+        print(f"all deployments returned the correct result; on a single "
+              f"core, processes cannot beat threads (ratio {ratio:.1f}x) — "
+              f"run on a multi-core host to see the process-level speedup")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's §5 benchmark: first p primes, width candidates in flight.
+
+Reproduces one row of Table 1 — the same program on 1, 4, and 8 sites —
+with the cost model calibrated so the 1-site run matches the paper's
+Pentium IV seconds.
+
+    python examples/primes_cluster.py [p] [width]
+"""
+
+import sys
+
+from repro.apps import build_primes_program, first_n_primes
+from repro.bench import PAPER_TABLE1, calibrated_test_params
+from repro.bench.harness import bench_config
+from repro.site.simcluster import SimCluster
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    width = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    if (p, width) in PAPER_TABLE1:
+        scale, base = calibrated_test_params(p, width)
+    else:
+        scale, base = 4000.0, 40000.0  # uncalibrated but realistic
+
+    app = build_primes_program()
+    expected = first_n_primes(p)
+    durations = {}
+    for nsites in (1, 4, 8):
+        cluster = SimCluster(nsites=nsites, config=bench_config())
+        handle = cluster.submit(app, args=(p, width, scale, base))
+        cluster.run(progress_timeout=600.0)
+        assert handle.result == expected
+        durations[nsites] = handle.duration
+        print(f"{nsites} site(s): {handle.duration:7.1f} s  "
+              f"speedup {durations[1] / handle.duration:4.2f}")
+
+    if (p, width) in PAPER_TABLE1:
+        t1, t4, t8 = PAPER_TABLE1[(p, width)]
+        print(f"paper:      {t1:7.1f} s / {t4:.1f} s ({t1 / t4:.1f}) / "
+              f"{t8:.1f} s ({t1 / t8:.1f})")
+    print(f"primes found: {expected[:5]} ... {expected[-1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: write an SDVM application and run it on a simulated cluster.
+
+An SDVM program is split into *microthreads* — code fragments whose
+execution is triggered by *microframes* carrying their arguments (dataflow
+synchronization, paper §3).  This example builds a tiny fan-out/fan-in
+pipeline and runs it on a 4-site cluster.
+
+    python examples/quickstart.py
+"""
+
+from repro import ProgramBuilder, SimCluster
+
+prog = ProgramBuilder("quickstart")
+
+
+@prog.microthread(creates=("square", "report"))
+def main(ctx, n):
+    """Entry microthread: fans out n 'square' tasks feeding one collector."""
+    ctx.charge(10)  # declare compute work (drives the simulated clock)
+    ctx.output(f"fanning out {n} squares")
+    # the collector fires only when all n parameter slots are filled
+    collector = ctx.create_frame("report", nparams=n)
+    for i in range(n):
+        worker = ctx.create_frame("square", targets=[(collector, i)])
+        ctx.send_result(worker, 0, i)
+
+
+@prog.microthread
+def square(ctx, value):
+    ctx.charge(100)
+    ctx.send_to_targets(value * value)  # to the (frame, slot) in my targets
+
+
+@prog.microthread
+def report(ctx, *squares):
+    ctx.charge(10)
+    total = sum(squares)
+    ctx.output(f"sum of squares = {total}")
+    ctx.exit_program(total)
+
+
+def main_cli() -> None:
+    cluster = SimCluster(nsites=4)
+    handle = cluster.submit(prog.build(), args=(32,))
+    cluster.run()
+
+    print("console output (routed to the frontend site):")
+    for line in handle.output():
+        print("   ", line)
+    print(f"result: {handle.result}")
+    print(f"virtual duration: {handle.duration * 1e3:.2f} ms "
+          f"on {cluster.alive_count()} sites")
+    stats = cluster.total_stats()
+    print(f"messages sent: {stats.get('sent').count}, "
+          f"frames executed: {stats.get('executions').count}, "
+          f"steals: {stats.get('steals_in').count}")
+    assert handle.result == sum(i * i for i in range(32))
+
+
+if __name__ == "__main__":
+    main_cli()

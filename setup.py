@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works in offline environments
+(no `wheel` package available for PEP 660 editable builds)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Accounting — the paper's proposed commercial extension (§2.2, §6).
+
+"The SDVM could act as a service provider, letting customers run
+calculation-intensive applications on external computer clusters. ...  The
+accounting functionality needed for this can be integrated into the SDVM."
+and §6: "For a commercial use of the SDVM as an application layer like a
+middleware, methods to distinguish users and accounting functions should
+be implemented."
+
+The per-site raw data already exists (the program manager meters
+executions and work per program, the message manager counts traffic);
+:class:`~repro.accounting.accountant.ClusterAccountant` aggregates it
+cluster-wide and prices it with a :class:`~repro.accounting.accountant.Tariff`.
+"""
+
+from repro.accounting.accountant import (
+    ClusterAccountant,
+    Invoice,
+    Tariff,
+    UsageRecord,
+)
+
+__all__ = ["ClusterAccountant", "Invoice", "Tariff", "UsageRecord"]

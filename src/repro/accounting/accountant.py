@@ -1,0 +1,117 @@
+"""Cluster-wide usage aggregation and pricing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class Tariff:
+    """Prices for renting a cluster (arbitrary currency units).
+
+    ``work_unit_price`` prices CPU consumption; ``execution_price`` the
+    scheduling overhead per microthread; ``byte_price`` network traffic.
+    """
+
+    work_unit_price: float = 1e-6
+    execution_price: float = 1e-4
+    byte_price: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if min(self.work_unit_price, self.execution_price,
+               self.byte_price) < 0:
+            raise ConfigError("tariff prices must be non-negative")
+
+
+@dataclass(slots=True)
+class UsageRecord:
+    """Usage of one program on one site."""
+
+    program: int
+    program_name: str
+    site: int
+    executions: int = 0
+    work_units: float = 0.0
+
+    def cost(self, tariff: Tariff) -> float:
+        return (self.work_units * tariff.work_unit_price
+                + self.executions * tariff.execution_price)
+
+
+@dataclass(slots=True)
+class Invoice:
+    """Priced usage for one program across the cluster."""
+
+    program: int
+    program_name: str
+    records: List[UsageRecord] = field(default_factory=list)
+    #: cluster traffic is shared infrastructure: apportioned by work share
+    traffic_cost: float = 0.0
+
+    @property
+    def executions(self) -> int:
+        return sum(r.executions for r in self.records)
+
+    @property
+    def work_units(self) -> float:
+        return sum(r.work_units for r in self.records)
+
+    def total(self, tariff: Tariff) -> float:
+        return (sum(r.cost(tariff) for r in self.records)
+                + self.traffic_cost)
+
+
+class ClusterAccountant:
+    """Aggregates per-program usage from every site of a cluster.
+
+    Works on any collection of :class:`~repro.site.daemon.SDVMSite`
+    instances (SimCluster or LiveCluster sites).
+    """
+
+    def __init__(self, tariff: Tariff | None = None) -> None:
+        self.tariff = tariff or Tariff()
+
+    def collect(self, sites) -> Dict[int, Invoice]:  # noqa: ANN001
+        """Build one invoice per program from current site state."""
+        invoices: Dict[int, Invoice] = {}
+        total_work = 0.0
+        total_bytes = 0.0
+        for site in sites:
+            total_bytes += site.message_manager.stats.get(
+                "bytes_sent").total
+            for info in site.program_manager.programs.values():
+                invoice = invoices.get(info.pid)
+                if invoice is None:
+                    invoice = invoices[info.pid] = Invoice(
+                        program=info.pid, program_name=info.name)
+                if info.executions or info.work_charged:
+                    invoice.records.append(UsageRecord(
+                        program=info.pid,
+                        program_name=info.name,
+                        site=site.site_id,
+                        executions=info.executions,
+                        work_units=info.work_charged,
+                    ))
+                    total_work += info.work_charged
+        # apportion the cluster's traffic cost by work share
+        if total_work > 0:
+            traffic_total = total_bytes * self.tariff.byte_price
+            for invoice in invoices.values():
+                invoice.traffic_cost = (traffic_total
+                                        * invoice.work_units / total_work)
+        return invoices
+
+    def report(self, sites) -> str:  # noqa: ANN001
+        """Human-readable cluster invoice."""
+        invoices = self.collect(sites)
+        lines = ["program                 execs        work     cost"]
+        for invoice in sorted(invoices.values(),
+                              key=lambda inv: -inv.work_units):
+            lines.append(
+                f"{invoice.program_name:20s} {invoice.executions:8d} "
+                f"{invoice.work_units:11.0f} "
+                f"{invoice.total(self.tariff):8.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Mandelbrot rendering — embarrassingly parallel rows with frontend output.
+
+One ``render_row`` microthread per scanline (real escape-time iteration,
+charged per iteration executed), a variadic gatherer that emits ASCII art
+through the I/O manager (exercising frontend output routing from remote
+sites), and a checksum result.
+
+Entry: ``main(ctx, width, height, max_iter)``;
+result: ``(total_iterations, rows)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def build_mandelbrot_program() -> SDVMProgram:
+    prog = ProgramBuilder(
+        "mandelbrot", description="escape-time fractal, one row per frame")
+
+    @prog.microthread(work=20, creates=("render_row", "gather"), entry=True)
+    def main(ctx, width, height, max_iter):
+        ctx.charge(20)
+        if width < 1 or height < 1:
+            ctx.output("mandelbrot: width and height must be >= 1")
+            ctx.exit_program(None)
+            return
+        gather = ctx.create_frame("gather", nparams=height + 1)
+        ctx.send_result(gather, 0, (width, height))
+        for row in range(height):
+            worker = ctx.create_frame("render_row",
+                                      targets=[(gather, 1 + row)])
+            ctx.send_result(worker, 0, row)
+            ctx.send_result(worker, 1, width)
+            ctx.send_result(worker, 2, height)
+            ctx.send_result(worker, 3, max_iter)
+
+    @prog.microthread(work=5000)
+    def render_row(ctx, row, width, height, max_iter):
+        y = -1.2 + 2.4 * row / max(height - 1, 1)
+        counts = []
+        total = 0
+        for col in range(width):
+            x = -2.1 + 3.0 * col / max(width - 1, 1)
+            zr = zi = 0.0
+            i = 0
+            while i < max_iter and zr * zr + zi * zi <= 4.0:
+                zr, zi = zr * zr - zi * zi + x, 2.0 * zr * zi + y
+                i += 1
+            counts.append(i)
+            total += i
+        ctx.charge(20 + 6 * total)
+        ctx.send_to_targets((row, counts, total))
+
+    @prog.microthread(work=50)
+    def gather(ctx, shape, *rows):
+        width, height = shape
+        ctx.charge(20 + width * height)
+        palette = " .:-=+*#%@"
+        ordered = [None] * height
+        grand_total = 0
+        for row, counts, total in rows:
+            ordered[row] = counts
+            grand_total += total
+        art = []
+        for counts in ordered:
+            max_iter = max(max(counts), 1)
+            line = "".join(
+                palette[min(int(c * (len(palette) - 1) / max_iter),
+                            len(palette) - 1)]
+                for c in counts)
+            art.append(line)
+            ctx.output(line)
+        ctx.exit_program((grand_total, art))
+
+    return prog.build()

@@ -1,0 +1,118 @@
+"""Blocked matrix multiplication — a dataflow fan-out/reduce workload.
+
+C = A·B with (n/b)² result blocks; each block is a reduction over n/b
+partial products computed by independent ``block_multiply`` microthreads.
+Exercises wide fan-out, value-heavy messages (block payloads), and
+variadic reduction frames.
+
+Entry: ``main(ctx, n, block)`` with ``block`` dividing ``n``.
+Result: the full product matrix as a list of lists (verified against a
+straightforward sequential multiply in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def generate_matrix(n: int, seed: int) -> List[List[int]]:
+    """The deterministic input matrices the app itself constructs."""
+    return [[(i * 7 + j * 13 + seed * 31) % 10 - 4 for j in range(n)]
+            for i in range(n)]
+
+
+def reference_multiply(n: int) -> List[List[int]]:
+    a = generate_matrix(n, 1)
+    b = generate_matrix(n, 2)
+    return [[sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)]
+
+
+def build_matmul_program() -> SDVMProgram:
+    prog = ProgramBuilder(
+        "matmul", description="blocked matrix multiply, fan-out/reduce")
+
+    @prog.microthread(work=50,
+                      creates=("block_multiply", "cell_reduce", "assemble"),
+                      entry=True)
+    def main(ctx, n, block):
+        ctx.charge(50)
+        if n < 1 or block < 1 or n % block != 0:
+            ctx.output("matmul: block must divide n")
+            ctx.exit_program(None)
+            return
+        bn = n // block
+
+        def gen(seed):
+            return [[(i * 7 + j * 13 + seed * 31) % 10 - 4
+                     for j in range(n)] for i in range(n)]
+
+        def slice_block(m, bi, bj):
+            return [row[bj * block:(bj + 1) * block]
+                    for row in m[bi * block:(bi + 1) * block]]
+
+        a = gen(1)
+        b = gen(2)
+        ctx.charge(n * n)  # generation cost
+        assemble = ctx.create_frame("assemble", nparams=bn * bn + 1)
+        ctx.send_result(assemble, 0, (n, block))
+        for i in range(bn):
+            for j in range(bn):
+                reduce_frame = ctx.create_frame(
+                    "cell_reduce", nparams=bn,
+                    targets=[(assemble, 1 + i * bn + j)])
+                for k in range(bn):
+                    worker = ctx.create_frame(
+                        "block_multiply",
+                        targets=[(reduce_frame, k)])
+                    ctx.send_result(worker, 0, slice_block(a, i, k))
+                    ctx.send_result(worker, 1, slice_block(b, k, j))
+
+    @prog.microthread(work=1000)
+    def block_multiply(ctx, a_block, b_block):
+        size = len(a_block)
+        inner = len(b_block)
+        out = [[0] * size for _ in range(size)]
+        ops = 0
+        for i in range(size):
+            a_row = a_block[i]
+            out_row = out[i]
+            for k in range(inner):
+                aik = a_row[k]
+                b_row = b_block[k]
+                for j in range(size):
+                    out_row[j] += aik * b_row[j]
+                    ops += 1
+        ctx.charge(10 + 3 * ops)
+        ctx.send_to_targets(out)
+
+    @prog.microthread(work=100)
+    def cell_reduce(ctx, *partials):
+        size = len(partials[0])
+        total = [[0] * size for _ in range(size)]
+        for partial in partials:
+            for i in range(size):
+                row = total[i]
+                p_row = partial[i]
+                for j in range(size):
+                    row[j] += p_row[j]
+        ctx.charge(10 + size * size * len(partials))
+        ctx.send_to_targets(total)
+
+    @prog.microthread(work=100)
+    def assemble(ctx, shape, *blocks):
+        n, block = shape
+        bn = n // block
+        result = [[0] * n for _ in range(n)]
+        for index, cell in enumerate(blocks):
+            bi, bj = divmod(index, bn)
+            for i in range(block):
+                result[bi * block + i][bj * block:(bj + 1) * block] = cell[i]
+        ctx.charge(10 + n * n)
+        ctx.output("matmul: assembled " + str(n) + "x" + str(n)
+                   + " product")
+        ctx.exit_program(result)
+
+    return prog.build()

@@ -1,0 +1,87 @@
+"""Recursive mergesort — divide-and-conquer dataflow with dynamic depth.
+
+Each ``sort`` microthread either sorts its chunk directly (below the
+cutoff) or splits it, allocating two child ``sort`` frames and a ``merge``
+frame wired as their target — the textbook dataflow recursion the SDVM's
+dynamic frame allocation exists for (§3.2).
+
+Entry: ``main(ctx, n, cutoff, seed)``; result: the sorted list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def generate_input(n: int, seed: int) -> List[int]:
+    """Deterministic pseudo-random input (mirrors the app's own generator)."""
+    out = []
+    state = seed or 1
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        out.append(state % 100000)
+    return out
+
+
+def build_mergesort_program() -> SDVMProgram:
+    prog = ProgramBuilder(
+        "mergesort", description="recursive divide-and-conquer sort")
+
+    @prog.microthread(work=20, creates=("sort_chunk", "finish"), entry=True)
+    def main(ctx, n, cutoff, seed):
+        ctx.charge(20 + n)
+        data = []
+        state = seed or 1
+        for _ in range(n):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            data.append(state % 100000)
+        finish = ctx.create_frame("finish")
+        root = ctx.create_frame("sort_chunk", targets=[(finish, 0)])
+        ctx.send_result(root, 0, data)
+        ctx.send_result(root, 1, cutoff)
+
+    @prog.microthread(work=200, creates=("sort_chunk", "merge"))
+    def sort_chunk(ctx, data, cutoff):
+        n = len(data)
+        if n <= cutoff:
+            # insertion-grade direct sort, honestly charged ~n log n
+            out = sorted(data)
+            log_n = max(1, n.bit_length())
+            ctx.charge(10 + 4 * n * log_n)
+            ctx.send_to_targets(out)
+            return
+        mid = n // 2
+        ctx.charge(10 + n)  # the split copy
+        merge = ctx.create_frame("merge", targets=ctx.targets())
+        left = ctx.create_frame("sort_chunk", targets=[(merge, 0)])
+        right = ctx.create_frame("sort_chunk", targets=[(merge, 1)])
+        ctx.send_result(left, 0, data[:mid])
+        ctx.send_result(left, 1, cutoff)
+        ctx.send_result(right, 0, data[mid:])
+        ctx.send_result(right, 1, cutoff)
+
+    @prog.microthread(work=100)
+    def merge(ctx, left, right):
+        out = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                out.append(left[i])
+                i += 1
+            else:
+                out.append(right[j])
+                j += 1
+        out.extend(left[i:])
+        out.extend(right[j:])
+        ctx.charge(10 + 3 * len(out))
+        ctx.send_to_targets(out)
+
+    @prog.microthread(work=10)
+    def finish(ctx, data):
+        ctx.charge(10)
+        ctx.output("mergesort: sorted " + str(len(data)) + " values")
+        ctx.exit_program(data)
+
+    return prog.build()

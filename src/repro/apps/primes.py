@@ -1,0 +1,172 @@
+"""The paper's prime-number benchmark (§5, Table 1).
+
+"The example program does a parallel computation of the first p prime
+numbers, working on width numbers in parallel each."
+
+Pipelined-lane structure — ``width`` candidates are *continuously* in
+flight (no barrier), which is what Table 1's shape requires: at width 10 on
+8 sites the paper reports speedup 6.4–6.6, above the ceil(10/8)-barrier
+bound of 5, so rounds cannot be strictly synchronized.  (A barrier-per-
+round variant lives in :mod:`repro.apps.primes_rounds` as an ablation.)
+
+* ``width`` *lanes* of ``test_candidate`` microthreads run concurrently;
+  each tester trial-divides one candidate and reports
+  ``(candidate, is_prime, divisions)`` to the collect frame named in its
+  microframe's target list (Fig. 2's "target addresses").
+* A *collector chain* serializes bookkeeping: each ``collect`` microframe
+  has two parameters — the running state (threaded from its predecessor)
+  and one tester result.  Processing a result spawns the next tester for
+  that lane **and** the collect frame for the new tester's result; all
+  frame addresses travel inside the state value, so every address is known
+  before any result needs it (§3.2's allocation rule).
+* Collect frames are marked ``critical`` — they are the application's
+  critical path, and the scheduling-hint machinery (§3.3) gives them an
+  express lane so the chain never stalls behind long tests.
+* The program exits once the first ``p`` primes are *certain*: every
+  candidate below the p-th prime has been resolved (lane results arrive
+  out of order).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+#: work units charged per trial division / fixed per test.  With the default
+#: CostModel (1 µs per unit) one test costs a few milliseconds — comfortably
+#: above messaging costs, as on the paper's P4 testbed (~0.1 s per test).
+DEFAULT_SCALE = 400.0
+DEFAULT_BASE = 4000.0
+
+
+def first_n_primes(p: int) -> List[int]:
+    """Reference result for verification (plain sequential computation)."""
+    if p <= 0:
+        return []
+    primes: List[int] = []
+    candidate = 2
+    while len(primes) < p:
+        if all(candidate % q for q in primes if q * q <= candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def count_divisions(candidate: int) -> int:
+    """Trial divisions performed for one candidate (mirrors the tester)."""
+    divisions = 0
+    d = 2
+    while d * d <= candidate:
+        divisions += 1
+        if candidate % d == 0:
+            break
+        d += 1
+    return divisions
+
+
+def nth_prime(p: int) -> int:
+    return first_n_primes(p)[-1]
+
+
+def sequential_work_units(p: int, scale: float = DEFAULT_SCALE,
+                          base: float = DEFAULT_BASE) -> float:
+    """Work units of an ideal sequential run (tests stop at the p-th prime).
+
+    The baseline for overhead (§5 compares against "a stand-alone
+    sequential program") and for speedup normalization.
+    """
+    limit = nth_prime(p)
+    total = 0.0
+    for candidate in range(2, limit + 1):
+        total += base + count_divisions(candidate) * scale
+    return total
+
+
+def build_primes_program() -> SDVMProgram:
+    """Build the pipelined primes application.
+
+    Entry signature: ``main(ctx, p, width, scale, base)``; the program's
+    result is the list of the first ``p`` primes.
+    """
+    prog = ProgramBuilder(
+        "primes",
+        description="first p primes, width candidates in flight (paper §5)")
+
+    @prog.microthread(work=10, creates=("collect", "test_candidate"),
+                      entry=True)
+    def main(ctx, p, width, scale, base):
+        ctx.charge(10)
+        if p < 1 or width < 1:
+            ctx.output("primes: p and width must be >= 1")
+            ctx.exit_program([])
+            return
+        chain = [ctx.create_frame("collect", critical=True, priority=10.0)
+                 for _lane in range(width)]
+        for lane in range(width):
+            tester = ctx.create_frame("test_candidate",
+                                      targets=[(chain[lane], 1)])
+            ctx.send_result(tester, 0, 2 + lane)
+            ctx.send_result(tester, 1, scale)
+            ctx.send_result(tester, 2, base)
+        state = {
+            "p": p,
+            "scale": scale,
+            "base": base,
+            "next_candidate": 2 + width,
+            "results": {},          # resolved candidates beyond the frontier
+            "frontier": 2,          # smallest unresolved candidate
+            "prefix_primes": [],    # primes among the contiguous prefix
+            "chain": chain[1:],     # collect frames still awaiting state
+        }
+        ctx.send_result(chain[0], 0, state)
+
+    @prog.microthread(work=20, creates=("collect", "test_candidate"))
+    def collect(ctx, state, result):
+        candidate, is_prime, divisions = result
+        ctx.charge(20)
+        state["results"][candidate] = is_prime
+        results = state["results"]
+        frontier = state["frontier"]
+        prefix = state["prefix_primes"]
+        while frontier in results:
+            if results.pop(frontier):
+                prefix.append(frontier)
+            frontier += 1
+        state["frontier"] = frontier
+        if len(prefix) >= state["p"]:
+            primes = prefix[:state["p"]]
+            ctx.output("primes: found " + str(len(primes))
+                       + " primes, largest " + str(primes[-1]))
+            ctx.exit_program(primes)
+            return
+        # keep this lane busy: next candidate + the frame for its result
+        new_collect = ctx.create_frame("collect", critical=True,
+                                       priority=10.0)
+        cand = state["next_candidate"]
+        state["next_candidate"] = cand + 1
+        tester = ctx.create_frame("test_candidate",
+                                  targets=[(new_collect, 1)])
+        ctx.send_result(tester, 0, cand)
+        ctx.send_result(tester, 1, state["scale"])
+        ctx.send_result(tester, 2, state["base"])
+        # thread the state to the oldest collect frame still waiting
+        state["chain"].append(new_collect)
+        next_collect = state["chain"].pop(0)
+        ctx.send_result(next_collect, 0, state)
+
+    @prog.microthread(work=DEFAULT_BASE)
+    def test_candidate(ctx, candidate, scale, base):
+        divisions = 0
+        is_prime = candidate >= 2
+        d = 2
+        while d * d <= candidate:
+            divisions += 1
+            if candidate % d == 0:
+                is_prime = False
+                break
+            d += 1
+        ctx.charge(base + divisions * scale)
+        ctx.send_to_targets((candidate, is_prime, divisions))
+
+    return prog.build()

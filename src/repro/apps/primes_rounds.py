@@ -1,0 +1,91 @@
+"""Barrier-per-round variant of the primes benchmark (ablation).
+
+Mirrors the structure visible in the paper's Fig. 2 code snippet (a result
+frame with ``simultaneousTestCount + 4`` slots): every round tests
+``width`` consecutive candidates against one wide collector frame that
+fires when the whole round is in.  Compared with the pipelined-lane version
+(:mod:`repro.apps.primes`) the barrier caps achievable speedup at
+``width / ceil(width / sites)`` — the ablation benchmark
+(``benchmarks/bench_help_policies.py`` companion, see DESIGN.md E3/T1)
+shows the pipelined version matching Table 1 and this one falling short on
+8 sites.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def build_primes_rounds_program() -> SDVMProgram:
+    """Entry: ``main(ctx, p, width, scale, base)``; result: first p primes."""
+    prog = ProgramBuilder(
+        "primes-rounds",
+        description="first p primes, width candidates per barrier round")
+
+    @prog.microthread(work=10, creates=("collect_round", "test_candidate"),
+                      entry=True)
+    def main(ctx, p, width, scale, base):
+        ctx.charge(10)
+        if p < 1 or width < 1:
+            ctx.output("primes-rounds: p and width must be >= 1")
+            ctx.exit_program([])
+            return
+        collector = ctx.create_frame("collect_round", nparams=width + 1,
+                                     critical=True, priority=10.0)
+        for lane in range(width):
+            tester = ctx.create_frame("test_candidate",
+                                      targets=[(collector, 1 + lane)])
+            ctx.send_result(tester, 0, 2 + lane)
+            ctx.send_result(tester, 1, scale)
+            ctx.send_result(tester, 2, base)
+        state = {
+            "p": p,
+            "width": width,
+            "scale": scale,
+            "base": base,
+            "next_candidate": 2 + width,
+            "primes": [],
+        }
+        ctx.send_result(collector, 0, state)
+
+    @prog.microthread(work=20, creates=("collect_round", "test_candidate"))
+    def collect_round(ctx, state, *results):
+        ctx.charge(20 + len(results))
+        primes = state["primes"]
+        for candidate, is_prime, _divisions in results:
+            if is_prime:
+                primes.append(candidate)
+        if len(primes) >= state["p"]:
+            found = primes[:state["p"]]
+            ctx.output("primes-rounds: found " + str(len(found))
+                       + " primes, largest " + str(found[-1]))
+            ctx.exit_program(found)
+            return
+        width = state["width"]
+        collector = ctx.create_frame("collect_round", nparams=width + 1,
+                                     critical=True, priority=10.0)
+        first = state["next_candidate"]
+        for lane in range(width):
+            tester = ctx.create_frame("test_candidate",
+                                      targets=[(collector, 1 + lane)])
+            ctx.send_result(tester, 0, first + lane)
+            ctx.send_result(tester, 1, state["scale"])
+            ctx.send_result(tester, 2, state["base"])
+        state["next_candidate"] = first + width
+        ctx.send_result(collector, 0, state)
+
+    @prog.microthread(work=4000)
+    def test_candidate(ctx, candidate, scale, base):
+        divisions = 0
+        is_prime = candidate >= 2
+        d = 2
+        while d * d <= candidate:
+            divisions += 1
+            if candidate % d == 0:
+                is_prime = False
+                break
+            d += 1
+        ctx.charge(base + divisions * scale)
+        ctx.send_to_targets((candidate, is_prime, divisions))
+
+    return prog.build()

@@ -1,0 +1,145 @@
+"""Iterative Jacobi stencil — the long-running "climate model" stand-in.
+
+The paper motivates hot migration with "big and permanently running
+applications like climate model calculations" (§2.2); this app is the
+repository's miniature of that: a 2-D heat-diffusion grid iterated for T
+steps, partitioned into S horizontal strips.  Each step is a dataflow
+barrier: strip workers exchange halo rows through the step collector, which
+spawns the next step — so the program runs for a long, configurable time
+and survives sites joining, leaving, and crashing underneath it (see
+``examples/elastic_cluster.py``).
+
+Entry: ``main(ctx, n, strips, steps)``;
+result: ``(checksum, max_delta_of_last_step)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def initial_grid(n: int) -> List[List[float]]:
+    """Hot left edge, cold elsewhere (mirrors the app's own setup)."""
+    grid = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        grid[i][0] = 100.0
+    return grid
+
+
+def reference_stencil(n: int, steps: int) -> tuple:
+    grid = initial_grid(n)
+    delta = 0.0
+    for _ in range(steps):
+        nxt = [row[:] for row in grid]
+        delta = 0.0
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                value = 0.25 * (grid[i - 1][j] + grid[i + 1][j]
+                                + grid[i][j - 1] + grid[i][j + 1])
+                nxt[i][j] = value
+                delta = max(delta, abs(value - grid[i][j]))
+        grid = nxt
+    checksum = sum(sum(row) for row in grid)
+    return checksum, delta
+
+
+def build_stencil_program() -> SDVMProgram:
+    prog = ProgramBuilder(
+        "stencil", description="Jacobi heat diffusion, strip-parallel")
+
+    @prog.microthread(work=50, creates=("relax_strip", "step_collect"),
+                      entry=True)
+    def main(ctx, n, strips, steps):
+        ctx.charge(50 + n * n)
+        if n < 4 or strips < 1 or steps < 1 or n % strips != 0:
+            ctx.output("stencil: need n >= 4, strips | n, steps >= 1")
+            ctx.exit_program(None)
+            return
+        grid = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            grid[i][0] = 100.0
+        rows_per = n // strips
+        collector = ctx.create_frame("step_collect", nparams=strips + 1,
+                                     critical=True, priority=10.0)
+        for s in range(strips):
+            lo = s * rows_per
+            hi = lo + rows_per
+            worker = ctx.create_frame("relax_strip",
+                                      targets=[(collector, 1 + s)])
+            ctx.send_result(worker, 0, s)
+            ctx.send_result(worker, 1, grid[max(lo - 1, 0):min(hi + 1, n)])
+            ctx.send_result(worker, 2, (lo, hi, n))
+        ctx.send_result(collector, 0, {"n": n, "strips": strips,
+                                       "steps_left": steps - 1,
+                                       "step": 1})
+
+    @prog.microthread(work=2000)
+    def relax_strip(ctx, strip_index, rows, bounds):
+        lo, hi, n = bounds
+        # rows includes halo rows (one above, one below, where they exist)
+        top_halo = 1 if lo > 0 else 0
+        out = []
+        delta = 0.0
+        ops = 0
+        for i in range(hi - lo):
+            src = rows[top_halo + i]
+            global_i = lo + i
+            if global_i == 0 or global_i == n - 1:
+                out.append(src[:])
+                continue
+            above = rows[top_halo + i - 1]
+            below = rows[top_halo + i + 1]
+            new_row = src[:]
+            for j in range(1, n - 1):
+                value = 0.25 * (above[j] + below[j]
+                                + src[j - 1] + src[j + 1])
+                diff = value - src[j]
+                if diff < 0:
+                    diff = -diff
+                if diff > delta:
+                    delta = diff
+                new_row[j] = value
+                ops += 1
+            out.append(new_row)
+        ctx.charge(20 + 8 * ops)
+        ctx.send_to_targets((strip_index, out, delta))
+
+    @prog.microthread(work=100, creates=("relax_strip", "step_collect"))
+    def step_collect(ctx, state, *strip_results):
+        n = state["n"]
+        strips = state["strips"]
+        rows_per = n // strips
+        ordered = [None] * strips
+        delta = 0.0
+        for index, rows, strip_delta in strip_results:
+            ordered[index] = rows
+            if strip_delta > delta:
+                delta = strip_delta
+        grid = [row for strip in ordered for row in strip]
+        ctx.charge(20 + n * n)
+        if state["steps_left"] <= 0:
+            checksum = 0.0
+            for row in grid:
+                for value in row:
+                    checksum += value
+            ctx.output("stencil: finished step " + str(state["step"])
+                       + ", max delta " + str(delta))
+            ctx.exit_program((checksum, delta))
+            return
+        collector = ctx.create_frame("step_collect", nparams=strips + 1,
+                                     critical=True, priority=10.0)
+        for s in range(strips):
+            lo = s * rows_per
+            hi = lo + rows_per
+            worker = ctx.create_frame("relax_strip",
+                                      targets=[(collector, 1 + s)])
+            ctx.send_result(worker, 0, s)
+            ctx.send_result(worker, 1, grid[max(lo - 1, 0):min(hi + 1, n)])
+            ctx.send_result(worker, 2, (lo, hi, n))
+        state["steps_left"] -= 1
+        state["step"] += 1
+        ctx.send_result(collector, 0, state)
+
+    return prog.build()

@@ -1,0 +1,28 @@
+"""Benchmark harness utilities.
+
+* :mod:`repro.bench.calibration` — the paper's Table 1 numbers and the
+  work-unit calibration that maps our cost model onto the authors'
+  Pentium IV seconds.
+* :mod:`repro.bench.harness` — cluster-run helpers and plain-text table
+  rendering shared by everything under ``benchmarks/``.
+"""
+
+from repro.bench.calibration import (
+    PAPER_TABLE1,
+    PAPER_OVERHEAD_PERCENT,
+    calibrated_test_params,
+)
+from repro.bench.harness import (
+    run_primes,
+    render_table,
+    speedup_row,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_OVERHEAD_PERCENT",
+    "calibrated_test_params",
+    "run_primes",
+    "render_table",
+    "speedup_row",
+]

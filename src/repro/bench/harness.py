@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import build_primes_program, first_n_primes
+from repro.common.config import SchedulingConfig, SDVMConfig
+from repro.common.errors import SDVMError
+from repro.site.simcluster import SimCluster
+
+#: set SDVM_BENCH_FULL=1 to run the full Table 1 sweep (p up to 1000);
+#: the default keeps CI runs in seconds
+FULL_SWEEP = os.environ.get("SDVM_BENCH_FULL", "") not in ("", "0")
+
+
+def bench_config(**overrides) -> SDVMConfig:
+    """The configuration every benchmark uses unless it sweeps a knob."""
+    base = SDVMConfig(
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0))
+    return base.with_(**overrides) if overrides else base
+
+
+def run_primes(p: int, width: int, nsites: int, scale: float, base: float,
+               config: Optional[SDVMConfig] = None,
+               verify: bool = True,
+               progress_timeout: float = 600.0) -> Tuple[float, SimCluster]:
+    """Run the primes app; returns (virtual duration, cluster)."""
+    cluster = SimCluster(nsites=nsites, config=config or bench_config())
+    handle = cluster.submit(build_primes_program(),
+                            args=(p, width, scale, base))
+    cluster.run(progress_timeout=progress_timeout)
+    if verify and handle.result != first_n_primes(p):
+        raise SDVMError(f"primes({p}, {width}) returned a wrong result")
+    return handle.duration, cluster
+
+
+def speedup_row(t1: float, tn: Dict[int, float]) -> Dict[int, float]:
+    return {n: t1 / t for n, t in tn.items()}
+
+
+def render_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table in the style of the paper's Table 1."""
+    columns = [str(h) for h in header]
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [title, line,
+           "|" + "|".join(f" {columns[i]:<{widths[i]}} "
+                          for i in range(len(columns))) + "|",
+           line]
+    for row in rendered_rows:
+        out.append("|" + "|".join(f" {row[i]:>{widths[i]}} "
+                                  for i in range(len(row))) + "|")
+    out.append(line)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,24 @@
+"""The CDAG — Controlflow Dataflow Allocation Graph (paper §3.3, ref [7]).
+
+"The application's structures like microthread-blocks having many data
+dependencies can be extracted from the CDAG.  Moreover, microthreads in the
+critical path of the application can be identified, which are then executed
+with higher priority. ... it is possible to attach scheduling hints to
+microframes using information from the CDAG."
+
+We build the CDAG from the static declarations programs carry anyway
+(``creates=`` edges and ``work=`` estimates on each microthread) and derive:
+
+* per-microthread *priority* (longest path to a sink, in work units);
+* the *critical path* (microthreads on a maximum-work path);
+* *dependency density* (fan-in/fan-out counts, the "many data dependencies"
+  signal).
+
+The :class:`~repro.cdag.hints.HintPolicy` turns that analysis into the
+(priority, critical) pair stamped onto microframes at creation.
+"""
+
+from repro.cdag.graph import CDAG, CDAGNode
+from repro.cdag.hints import HintPolicy, derive_hints
+
+__all__ = ["CDAG", "CDAGNode", "HintPolicy", "derive_hints"]

@@ -1,0 +1,184 @@
+"""Command-line interface for the SDVM reproduction.
+
+Usage (installed as a module)::
+
+    python -m repro.cli apps                      # list bundled programs
+    python -m repro.cli run primes --sites 8 --args 100 10
+    python -m repro.cli run matmul --sites 4 --args 24 6 --trace
+    python -m repro.cli run mergesort --sites 4 --args 2000 64 1 --invoice
+    python -m repro.cli table1 --p 100            # one Table-1 row
+
+``run`` builds a simulated cluster, executes the program, prints its
+frontend output, result summary, and (optionally) a timeline and invoice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.config import (
+    CostModel,
+    SchedulingConfig,
+    SDVMConfig,
+    SecurityConfig,
+)
+from repro.site.simcluster import SimCluster
+
+#: bundled applications: name -> (builder, default args, arg docs)
+APPS: Dict[str, tuple] = {
+    "primes": ("repro.apps.primes", "build_primes_program",
+               (100, 10, 400.0, 4000.0), "p width scale base"),
+    "primes-rounds": ("repro.apps.primes_rounds",
+                      "build_primes_rounds_program",
+                      (100, 10, 400.0, 4000.0), "p width scale base"),
+    "matmul": ("repro.apps.matmul", "build_matmul_program",
+               (16, 4), "n block"),
+    "mergesort": ("repro.apps.mergesort", "build_mergesort_program",
+                  (1000, 64, 42), "n cutoff seed"),
+    "mandelbrot": ("repro.apps.mandelbrot", "build_mandelbrot_program",
+                   (60, 20, 60), "width height max_iter"),
+    "stencil": ("repro.apps.stencil", "build_stencil_program",
+                (16, 4, 20), "n strips steps"),
+}
+
+
+def _load_app(name: str):
+    import importlib
+    module_name, builder_name, defaults, _docs = APPS[name]
+    module = importlib.import_module(module_name)
+    return getattr(module, builder_name)(), defaults
+
+
+def _coerce_args(raw: Sequence[str], defaults: tuple) -> tuple:
+    """Coerce CLI argument strings to the defaults' types, padding with
+    defaults for anything omitted."""
+    out = []
+    for index, default in enumerate(defaults):
+        if index < len(raw):
+            out.append(type(default)(raw[index]))
+        else:
+            out.append(default)
+    return tuple(out)
+
+
+def _build_config(args: argparse.Namespace) -> SDVMConfig:
+    return SDVMConfig(
+        cost=CostModel(compile_fixed_cost=1e-3),
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+        security=SecurityConfig(enabled=args.encrypt),
+        journal=args.trace,
+        seed=args.seed,
+    )
+
+
+def cmd_apps(_args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    print("bundled SDVM applications:", file=out)
+    for name, (_m, _b, defaults, docs) in APPS.items():
+        print(f"  {name:14s} args: {docs}  (defaults: "
+              f"{' '.join(str(d) for d in defaults)})", file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    if args.app not in APPS:
+        print(f"unknown app {args.app!r}; try: {', '.join(APPS)}",
+              file=out)
+        return 2
+    program, defaults = _load_app(args.app)
+    app_args = _coerce_args(args.args, defaults)
+    cluster = SimCluster(nsites=args.sites, config=_build_config(args))
+    handle = cluster.submit(program, args=app_args)
+    cluster.run(progress_timeout=600.0)
+
+    for line in handle.output():
+        print(f"  | {line}", file=out)
+    result = handle.result
+    summary = repr(result)
+    if len(summary) > 120:
+        summary = summary[:117] + "..."
+    print(f"result: {summary}", file=out)
+    print(f"virtual time: {handle.duration:.4f}s on {args.sites} site(s)",
+          file=out)
+    stats = cluster.total_stats()
+    print(f"executions: {stats.get('executions').count}, "
+          f"messages: {stats.get('sent').count}, "
+          f"steals: {stats.get('steals_in').count}", file=out)
+    if args.trace:
+        from repro.trace import Timeline
+        print(Timeline.from_cluster(cluster).render(width=64), file=out)
+    if args.invoice:
+        print(cluster.accounting_report(), file=out)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    from repro.bench import (
+        PAPER_TABLE1,
+        calibrated_test_params,
+        render_table,
+        run_primes,
+    )
+    width = args.width
+    if (args.p, width) not in PAPER_TABLE1:
+        print(f"no paper row for p={args.p} width={width}; rows: "
+              f"{sorted(PAPER_TABLE1)}", file=out)
+        return 2
+    scale, base = calibrated_test_params(args.p, width)
+    times = {}
+    for nsites in (1, 4, 8):
+        times[nsites], _cluster = run_primes(args.p, width, nsites,
+                                             scale, base)
+    t1, t4, t8 = (times[n] for n in (1, 4, 8))
+    p1, p4, p8 = PAPER_TABLE1[(args.p, width)]
+    print(render_table(
+        f"Table 1 row: p={args.p} width={width}",
+        ["", "1 site", "4 sites (S)", "8 sites (S)"],
+        [["measured", f"{t1:.1f}s", f"{t4:.1f}s ({t1 / t4:.1f})",
+          f"{t8:.1f}s ({t1 / t8:.1f})"],
+         ["paper", f"{p1:.1f}s", f"{p4:.1f}s ({p1 / p4:.1f})",
+          f"{p8:.1f}s ({p1 / p8:.1f})"]]), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SDVM reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list bundled applications")
+
+    run_parser = sub.add_parser("run", help="run an app on a sim cluster")
+    run_parser.add_argument("app")
+    run_parser.add_argument("--sites", type=int, default=4)
+    run_parser.add_argument("--args", nargs="*", default=[],
+                            help="program arguments (see `apps`)")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="print an ASCII timeline")
+    run_parser.add_argument("--invoice", action="store_true",
+                            help="print the accounting report")
+    run_parser.add_argument("--encrypt", action="store_true",
+                            help="enable the security manager")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    table_parser = sub.add_parser("table1",
+                                  help="reproduce one Table-1 row")
+    table_parser.add_argument("--p", type=int, default=100)
+    table_parser.add_argument("--width", type=int, default=10)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers: Dict[str, Callable] = {
+        "apps": cmd_apps,
+        "run": cmd_run,
+        "table1": cmd_table1,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

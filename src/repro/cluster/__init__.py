@@ -1,0 +1,29 @@
+"""Cluster membership: site list, sign-on/sign-off, id allocation, liveness.
+
+Paper §3.4 and §4 (cluster manager): "maintains a list containing
+information about every site participating in the cluster ... the site's
+logical and physical addresses and information about the site's hardware
+like its platform id and performance characteristics."
+"""
+
+from repro.cluster.records import SiteRecord
+from repro.cluster.id_allocation import (
+    IdAllocator,
+    CentralAllocator,
+    ContingentAllocator,
+    ModuloAllocator,
+    make_allocator,
+    MODULO_STRIDE,
+)
+from repro.cluster.manager import ClusterManager
+
+__all__ = [
+    "SiteRecord",
+    "IdAllocator",
+    "CentralAllocator",
+    "ContingentAllocator",
+    "ModuloAllocator",
+    "make_allocator",
+    "MODULO_STRIDE",
+    "ClusterManager",
+]

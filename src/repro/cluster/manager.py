@@ -1,0 +1,471 @@
+"""The cluster manager (paper §4).
+
+Maintains the site list, runs the sign-on/sign-off protocols, allocates
+logical site ids, answers physical-address lookups for the message manager,
+picks help-request targets from statistical load data, and (optionally)
+exchanges heartbeats for crash detection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import ClusterError
+from repro.common.ids import ManagerId
+from repro.messages import MsgType, SDMessage, make_reply
+from repro.cluster.id_allocation import (
+    CentralAllocator,
+    ContingentAllocator,
+    ModuloAllocator,
+    make_allocator,
+)
+from repro.cluster.records import SiteRecord
+from repro.site.manager_base import Manager
+
+
+class ClusterManager(Manager):
+    manager_id = ManagerId.CLUSTER
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self.sites: Dict[int, SiteRecord] = {}
+        self.allocator = make_allocator(
+            self.config.cluster.id_allocation,
+            self.config.cluster.contingent_size)
+        self._heartbeat_timer = None
+        self._pending_block_request = False
+        #: sign-ons queued while waiting for a fresh id block (contingent)
+        self._deferred_signons: List[SDMessage] = []
+        #: callbacks fired when a new site joins: fn(logical_id)
+        self.on_site_joined: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # bootstrap / join
+
+    def bootstrap(self) -> int:
+        """Become the first site of a new cluster."""
+        local = self.allocator.bootstrap_id()
+        self._adopt_local_id(local)
+        self._add_self_record()
+        if isinstance(self.allocator, ContingentAllocator):
+            self.allocator.init_as_root()
+        return local
+
+    def _adopt_local_id(self, local: int) -> None:
+        self.site.site_id = local
+        if isinstance(self.allocator, (CentralAllocator, ModuloAllocator)):
+            self.allocator.set_local_id(local)
+
+    def _add_self_record(self) -> None:
+        cfg = self.site.site_config
+        self.sites[self.local_id] = SiteRecord(
+            logical=self.local_id,
+            physical=self.kernel.local_physical(),
+            platform=cfg.platform,
+            speed=cfg.speed,
+            name=cfg.name,
+            code_distribution=cfg.code_distribution,
+            reliable=cfg.reliable,
+            last_seen=self.kernel.now,
+        )
+
+    #: how long a joiner waits for its SIGN_ON_ACK before resending
+    SIGN_ON_RETRY = 0.25
+
+    def join(self, bootstrap_physical: str) -> None:
+        """Sign on to an existing cluster via a known physical address.
+
+        "With the help request, site A gives information about itself
+        (processing speed, work load, etc.) to the cluster and receives in
+        turn information about other sites" (§3.4) — the SIGN_ON carries the
+        self-description, the ACK carries the cluster list.  The request is
+        resent until the ACK arrives (the contacted site may itself still
+        be signing on, or the message may be travelling a lossy transport).
+        """
+        self._send_sign_on(bootstrap_physical)
+        self.kernel.call_later(self.SIGN_ON_RETRY, self._retry_sign_on,
+                               bootstrap_physical)
+
+    def _retry_sign_on(self, bootstrap_physical: str) -> None:
+        if self.site.running or self.site.stopped:
+            return
+        self.stats.inc("sign_on_retries")
+        self._send_sign_on(bootstrap_physical)
+        self.kernel.call_later(self.SIGN_ON_RETRY, self._retry_sign_on,
+                               bootstrap_physical)
+
+    def _send_sign_on(self, bootstrap_physical: str) -> None:
+        cfg = self.site.site_config
+        msg = SDMessage(
+            type=MsgType.SIGN_ON,
+            src_site=-1, src_manager=ManagerId.CLUSTER,
+            dst_site=-1, dst_manager=ManagerId.CLUSTER,
+            payload={
+                "physical": self.kernel.local_physical(),
+                "platform": cfg.platform,
+                "speed": cfg.speed,
+                "name": cfg.name,
+                "code_distribution": cfg.code_distribution,
+                "reliable": cfg.reliable,
+            },
+        )
+        self.site.message_manager.send_physical(bootstrap_physical, msg)
+
+    # ------------------------------------------------------------------
+    # lookups used by the message manager and scheduler
+
+    def effective_site(self, logical: int) -> int:
+        """Follow heir links of departed sites (§3.4 relocation)."""
+        seen: Set[int] = set()
+        current = logical
+        while current not in seen:
+            seen.add(current)
+            record = self.sites.get(current)
+            if record is None or record.alive or record.heir is None:
+                return current
+            current = record.heir
+        return current
+
+    def physical_of(self, logical: int) -> Optional[str]:
+        record = self.sites.get(logical)
+        if record is None or not record.alive:
+            return None
+        return record.physical
+
+    def alive_peers(self) -> List[SiteRecord]:
+        return [r for r in self.sites.values()
+                if r.alive and r.logical != self.local_id]
+
+    def pick_help_target(self, exclude: Iterable[int] = ()) -> Optional[int]:
+        """Choose the peer most likely to have spare work (§4: "based on the
+        data currently known about the other sites")."""
+        excluded = set(exclude)
+        candidates = [r for r in self.alive_peers()
+                      if r.logical not in excluded]
+        if not candidates:
+            return None
+        best_load = max(r.load for r in candidates)
+        top = [r for r in candidates if r.load >= best_load]
+        return self.kernel.rng.choice(top).logical
+
+    def note_load(self, logical: int, load: float) -> None:
+        record = self.sites.get(logical)
+        if record is not None:
+            record.load = load
+            record.last_seen = self.kernel.now
+
+    def observe(self, logical: int) -> None:
+        record = self.sites.get(logical)
+        if record is not None:
+            record.last_seen = self.kernel.now
+
+    def local_record_wire(self) -> dict:
+        """Self-description piggybacked on help requests so unknown peers
+        learn about us ("propagated to the other sites ... by and by")."""
+        record = self.sites.get(self.local_id)
+        if record is None:
+            raise ClusterError("site has no local record yet")
+        record.load = self.site.site_manager.current_load()
+        return record.to_wire()
+
+    def learn_record(self, wire: dict) -> None:
+        self._merge_record(SiteRecord.from_wire(wire))
+
+    def _merge_record(self, incoming: SiteRecord) -> None:
+        if incoming.logical == self.local_id:
+            return
+        self.allocator.note_seen(incoming.logical)
+        existing = self.sites.get(incoming.logical)
+        if existing is None:
+            self.sites[incoming.logical] = incoming
+            incoming.last_seen = self.kernel.now
+            for callback in self.on_site_joined:
+                callback(incoming.logical)
+        else:
+            existing.merge_newer(incoming)
+
+    # ------------------------------------------------------------------
+    # message handling
+
+    def handle(self, msg: SDMessage) -> None:
+        handler = {
+            MsgType.SIGN_ON: self._on_sign_on,
+            MsgType.SIGN_ON_ACK: self._on_sign_on_ack,
+            MsgType.SIGN_OFF: self._on_sign_off,
+            MsgType.CLUSTER_INFO: self._on_cluster_info,
+            MsgType.HEARTBEAT: self._on_heartbeat,
+            MsgType.ID_BLOCK_REQUEST: self._on_id_block_request,
+            MsgType.ID_BLOCK_REPLY: self._on_id_block_reply,
+            MsgType.CRASH_NOTICE: self._on_crash_notice,
+        }.get(msg.type)
+        if handler is None:
+            super().handle(msg)
+            return
+        handler(msg)
+
+    # -- sign-on ---------------------------------------------------------
+    def _on_sign_on(self, msg: SDMessage) -> None:
+        if not self.site.running:
+            # we are still signing on ourselves and know nobody to forward
+            # to; the joiner's retry will find us ready
+            self.stats.inc("sign_ons_ignored_prestart")
+            return
+        # duplicate sign-on (the joiner retried): resend the original ACK
+        joiner_physical = msg.payload["physical"]
+        for record in self.sites.values():
+            if (record.physical == joiner_physical
+                    and record.logical != self.local_id):
+                self._send_ack(record)
+                self.stats.inc("duplicate_sign_ons")
+                return
+        if not self.allocator.can_allocate():
+            self._forward_or_defer_sign_on(msg)
+            return
+        new_id = self.allocator.allocate()
+        record = SiteRecord(
+            logical=new_id,
+            physical=msg.payload["physical"],
+            platform=msg.payload.get("platform", "py-generic"),
+            speed=msg.payload.get("speed", 1.0),
+            name=msg.payload.get("name", ""),
+            code_distribution=msg.payload.get("code_distribution", False),
+            reliable=msg.payload.get("reliable", True),
+            last_seen=self.kernel.now,
+        )
+        self._merge_record(record)
+        self._send_ack(record, grant_block=True)
+        self.stats.inc("sign_ons_served")
+        self._announce(record)
+
+    def _send_ack(self, record: SiteRecord, grant_block: bool = False) -> None:
+        payload = {
+            "your_id": record.logical,
+            "sites": [r.to_wire() for r in self.sites.values()],
+            "programs": self.site.program_manager.known_programs_wire(),
+        }
+        if grant_block and isinstance(self.allocator, ContingentAllocator):
+            try:
+                low, high = self.allocator.grant_block()
+                payload["id_block"] = (low, high)
+            except ClusterError:
+                # non-root contingent sites can allocate single ids from
+                # their block but cannot grant blocks; joiner will request
+                # one from site 0 when it needs to allocate
+                pass
+        ack = SDMessage(
+            type=MsgType.SIGN_ON_ACK,
+            src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+            dst_site=record.logical, dst_manager=ManagerId.CLUSTER,
+            payload=payload,
+        )
+        self.site.message_manager.send_physical(record.physical, ack)
+
+    def _forward_or_defer_sign_on(self, msg: SDMessage) -> None:
+        """Cannot allocate: route the request to a site that can."""
+        if isinstance(self.allocator, ContingentAllocator):
+            if hasattr(self.allocator, "_grant_cursor"):
+                # we are the root: carve ourselves a fresh block and retry
+                low, high = self.allocator.grant_block()
+                self.allocator.receive_block(low, high)
+                self._on_sign_on(msg)
+                return
+            # ask the root for a fresh block, defer the joiner meanwhile
+            self._deferred_signons.append(msg)
+            self._request_id_block()
+            return
+        if isinstance(self.allocator, ModuloAllocator):
+            servers = [r.logical for r in self.alive_peers()
+                       if r.logical < self.allocator.stride]
+            target = min(servers) if servers else 0
+        else:  # central
+            target = 0
+        if target == self.local_id:
+            raise ClusterError("id allocation forwarding loop")
+        forward = SDMessage(
+            type=MsgType.SIGN_ON,
+            src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+            dst_site=target, dst_manager=ManagerId.CLUSTER,
+            payload=dict(msg.payload),
+        )
+        self.site.message_manager.send(forward)
+        self.stats.inc("sign_ons_forwarded")
+
+    def _on_sign_on_ack(self, msg: SDMessage) -> None:
+        if self.site.running:
+            return  # duplicate ACK after a retried sign-on
+        new_id = msg.payload["your_id"]
+        self._adopt_local_id(new_id)
+        self._add_self_record()
+        for wire in msg.payload.get("sites", []):
+            self.learn_record(wire)
+        block = msg.payload.get("id_block")
+        if block and isinstance(self.allocator, ContingentAllocator):
+            self.allocator.receive_block(block[0], block[1])
+        self.site.program_manager.learn_programs_wire(
+            msg.payload.get("programs", []))
+        self.stats.inc("joined")
+        self.site.on_joined()
+
+    def _announce(self, record: SiteRecord) -> None:
+        """Tell other sites about a new member (gossip)."""
+        payload = {"sites": [record.to_wire()]}
+        for peer in self.alive_peers():
+            if peer.logical == record.logical:
+                continue
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.CLUSTER_INFO,
+                src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+                dst_site=peer.logical, dst_manager=ManagerId.CLUSTER,
+                payload=payload,
+            ))
+
+    # -- id blocks (contingent strategy) ----------------------------------
+    def _request_id_block(self) -> None:
+        if self._pending_block_request or self.local_id == 0:
+            return
+        self._pending_block_request = True
+        sent = self.site.message_manager.send(SDMessage(
+            type=MsgType.ID_BLOCK_REQUEST,
+            src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+            dst_site=0, dst_manager=ManagerId.CLUSTER,
+        ))
+        if not sent:
+            # the block server is not reachable (yet); retry shortly so
+            # deferred sign-ons are not stranded
+            self._pending_block_request = False
+            self.kernel.call_later(self.SIGN_ON_RETRY,
+                                   self._retry_block_request)
+
+    def _retry_block_request(self) -> None:
+        if self.site.running and self._deferred_signons:
+            self._request_id_block()
+
+    def _on_id_block_request(self, msg: SDMessage) -> None:
+        if not isinstance(self.allocator, ContingentAllocator):
+            raise ClusterError("ID_BLOCK_REQUEST under non-contingent strategy")
+        low, high = self.allocator.grant_block()
+        self.site.message_manager.send(make_reply(
+            msg, MsgType.ID_BLOCK_REPLY, {"id_block": (low, high)}))
+
+    def _on_id_block_reply(self, msg: SDMessage) -> None:
+        self._pending_block_request = False
+        if isinstance(self.allocator, ContingentAllocator):
+            low, high = msg.payload["id_block"]
+            self.allocator.receive_block(low, high)
+        deferred, self._deferred_signons = self._deferred_signons, []
+        for pending in deferred:
+            self._on_sign_on(pending)
+
+    # -- membership updates ------------------------------------------------
+    def _on_cluster_info(self, msg: SDMessage) -> None:
+        for wire in msg.payload.get("sites", []):
+            self.learn_record(wire)
+
+    def _on_sign_off(self, msg: SDMessage) -> None:
+        leaver = msg.payload["leaver"]
+        heir = msg.payload["heir"]
+        record = self.sites.get(leaver)
+        if record is not None:
+            record.alive = False
+            record.left = True
+            record.heir = heir
+        self.stats.inc("sign_offs_seen")
+
+    def _on_crash_notice(self, msg: SDMessage) -> None:
+        dead = msg.payload["site"]
+        self.mark_dead(dead, left=False)
+
+    def mark_dead(self, logical: int, left: bool,
+                  heir: Optional[int] = None) -> None:
+        record = self.sites.get(logical)
+        if record is not None and record.alive:
+            record.alive = False
+            record.left = left
+            record.heir = heir
+            self.site.crash_manager.on_site_dead(logical, orderly=left)
+
+    # -- orderly departure ---------------------------------------------------
+    def choose_heir(self) -> Optional[int]:
+        """Deterministic heir rule: lowest alive id above ours, wrapping.
+
+        Reliable-core extension (§2.2): unreliable sites are skipped as
+        heirs whenever at least one reliable peer exists — adopted state
+        must not land on a site expected to vanish without warning.
+        """
+        peers = self.alive_peers()
+        reliable = [r.logical for r in peers if r.reliable]
+        pool = sorted(reliable if reliable else [r.logical for r in peers])
+        if not pool:
+            return None
+        for logical in pool:
+            if logical > self.local_id:
+                return logical
+        return pool[0]
+
+    def broadcast_sign_off(self, heir: int) -> None:
+        for peer in self.alive_peers():
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.SIGN_OFF,
+                src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+                dst_site=peer.logical, dst_manager=ManagerId.CLUSTER,
+                payload={"leaver": self.local_id, "heir": heir},
+            ))
+
+    # -- heartbeats ---------------------------------------------------------
+    def on_start(self) -> None:
+        if self.config.cluster.heartbeats_enabled:
+            self._schedule_heartbeat()
+
+    def _schedule_heartbeat(self) -> None:
+        self._heartbeat_timer = self.kernel.call_later(
+            self.config.cluster.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if not self.site.running:
+            return
+        load = self.site.site_manager.current_load()
+        for peer in self.alive_peers():
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.HEARTBEAT,
+                src_site=self.local_id, src_manager=ManagerId.CLUSTER,
+                dst_site=peer.logical, dst_manager=ManagerId.CLUSTER,
+                payload={"load": load},
+            ))
+        self._check_liveness()
+        self._schedule_heartbeat()
+
+    def _on_heartbeat(self, msg: SDMessage) -> None:
+        self.note_load(msg.src_site, msg.payload.get("load", 0.0))
+
+    def _check_liveness(self) -> None:
+        timeout = self.config.cluster.heartbeat_timeout
+        now = self.kernel.now
+        for record in list(self.sites.values()):
+            if (record.alive and record.logical != self.local_id
+                    and now - record.last_seen > timeout):
+                self.log("site %d missed heartbeats; declaring crashed",
+                         record.logical)
+                self.stats.inc("crashes_detected")
+                self.mark_dead(record.logical, left=False)
+                # tell everyone else so detection is cluster-wide
+                for peer in self.alive_peers():
+                    self.site.message_manager.send(SDMessage(
+                        type=MsgType.CRASH_NOTICE,
+                        src_site=self.local_id,
+                        src_manager=ManagerId.CLUSTER,
+                        dst_site=peer.logical,
+                        dst_manager=ManagerId.CLUSTER,
+                        payload={"site": record.logical},
+                    ))
+
+    def on_stop(self) -> None:
+        if self._heartbeat_timer is not None:
+            self.kernel.cancel(self._heartbeat_timer)
+            self._heartbeat_timer = None
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        base = super().status()
+        base["known_sites"] = len(self.sites)
+        base["alive_sites"] = sum(1 for r in self.sites.values() if r.alive)
+        return base

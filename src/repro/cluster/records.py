@@ -1,0 +1,86 @@
+"""Site records — entries of the cluster manager's site list."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(slots=True)
+class SiteRecord:
+    """Everything one site knows about another (or itself).
+
+    Mirrors the paper's list contents: logical and physical addresses,
+    platform id, performance characteristics, and the statistical load data
+    used to pick help-request targets (§4).
+    """
+
+    logical: int
+    physical: str
+    platform: str = "py-generic"
+    speed: float = 1.0
+    name: str = ""
+    code_distribution: bool = False
+    #: member of the reliable core (§2.2); unreliable sites are excluded
+    #: from coordinator/heir/snapshot-keeper duties
+    reliable: bool = True
+    #: last load figure heard from this site (executable+ready+in-flight)
+    load: float = 0.0
+    #: when we last heard anything from it (heartbeats or piggybacked)
+    last_seen: float = 0.0
+    #: False once the site crashed or signed off
+    alive: bool = True
+    #: True when the site left in an orderly fashion (vs. crashed)
+    left: bool = False
+    #: the site that adopted this site's frames/objects after sign-off
+    heir: Optional[int] = None
+
+    def to_wire(self) -> dict:
+        return {
+            "logical": self.logical,
+            "physical": self.physical,
+            "platform": self.platform,
+            "speed": self.speed,
+            "name": self.name,
+            "code_distribution": self.code_distribution,
+            "reliable": self.reliable,
+            "load": self.load,
+            "alive": self.alive,
+            "left": self.left,
+            "heir": -1 if self.heir is None else self.heir,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SiteRecord":
+        heir = data.get("heir", -1)
+        return cls(
+            logical=data["logical"],
+            physical=data["physical"],
+            platform=data.get("platform", "py-generic"),
+            speed=data.get("speed", 1.0),
+            name=data.get("name", ""),
+            code_distribution=data.get("code_distribution", False),
+            reliable=data.get("reliable", True),
+            load=data.get("load", 0.0),
+            alive=data.get("alive", True),
+            left=data.get("left", False),
+            heir=None if heir < 0 else heir,
+        )
+
+    def merge_newer(self, other: "SiteRecord") -> None:
+        """Adopt fields from a record that carries newer information.
+
+        Liveness transitions are monotone (alive -> dead) because a dead
+        site never comes back under the same logical id.
+        """
+        self.physical = other.physical
+        self.platform = other.platform
+        self.speed = other.speed
+        self.name = other.name or self.name
+        self.code_distribution = other.code_distribution or self.code_distribution
+        self.reliable = other.reliable
+        if not other.alive:
+            self.alive = False
+            self.left = self.left or other.left
+            if other.heir is not None:
+                self.heir = other.heir

@@ -1,0 +1,12 @@
+"""Code distribution (paper §3.4 and §4, code manager).
+
+Microthreads travel on demand: binary if a platform-matching build exists
+anywhere reachable, source otherwise — in which case the receiving site
+compiles on the fly and pushes the fresh binary back to the code
+distribution site(s) "so that other sites will receive the binary code at
+first go".
+"""
+
+from repro.code.manager import CodeManager
+
+__all__ = ["CodeManager"]

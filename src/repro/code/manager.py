@@ -1,0 +1,272 @@
+"""The code manager: microthread store, fetch protocol, on-the-fly compile."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import CodeError
+from repro.common.ids import ManagerId
+from repro.core.threads import (
+    CompiledMicrothread,
+    MicrothreadSource,
+    binary_from_compiled,
+    compile_microthread,
+    compiled_from_binary,
+)
+from repro.messages import MsgType, SDMessage, make_reply
+from repro.site.manager_base import Manager
+
+#: invoked with the compiled microthread, or None if it cannot be obtained
+CodeCallback = Callable[[Optional[CompiledMicrothread]], None]
+
+Key = Tuple[int, int]  # (program id, thread id)
+
+
+class CodeManager(Manager):
+    manager_id = ManagerId.CODE
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self._sources: Dict[Key, MicrothreadSource] = {}
+        self._binaries: Dict[Tuple[int, int, str], bytes] = {}
+        self._compiled: Dict[Key, CompiledMicrothread] = {}
+        self._pending: Dict[Key, List[CodeCallback]] = {}
+
+    @property
+    def platform(self) -> str:
+        return self.site.site_config.platform
+
+    # ------------------------------------------------------------------
+    # local store
+
+    def store_source(self, src: MicrothreadSource) -> None:
+        self._sources[(src.program, src.thread_id)] = src
+
+    def has_local(self, pid: int, tid: int) -> bool:
+        return (pid, tid) in self._compiled
+
+    def drop_program(self, pid: int) -> None:
+        for store in (self._sources, self._compiled):
+            for key in [k for k in store if k[0] == pid]:
+                del store[key]
+        for key in [k for k in self._binaries if k[0] == pid]:
+            del self._binaries[key]
+
+    # ------------------------------------------------------------------
+    # the scheduler's entry point
+
+    def get(self, pid: int, tid: int, callback: CodeCallback) -> None:
+        """Obtain the executable microthread ``(pid, tid)``.
+
+        Resolution order (paper §4): local compiled copy -> local source
+        (compile on the fly) -> request from the program's code home site
+        (binary if the platform matches, else source).
+        """
+        key = (pid, tid)
+        compiled = self._compiled.get(key)
+        if compiled is not None:
+            self.stats.inc("hits")
+            callback(compiled)
+            return
+        waiting = self._pending.get(key)
+        if waiting is not None:
+            waiting.append(callback)
+            return
+        self._pending[key] = [callback]
+        src = self._sources.get(key)
+        if src is not None:
+            self._compile_local(src)
+            return
+        self._request_remote(pid, tid)
+
+    def _finish(self, key: Key,
+                compiled: Optional[CompiledMicrothread]) -> None:
+        callbacks = self._pending.pop(key, [])
+        for callback in callbacks:
+            callback(compiled)
+
+    # ------------------------------------------------------------------
+    # compilation
+
+    def _compile_local(self, src: MicrothreadSource) -> None:
+        """Compile from source, charging the modelled compile cost first."""
+        cost = (self.cost.compile_fixed_cost
+                + src.source_size() * self.cost.compile_byte_cost)
+        self.stats.inc("compiles")
+        self.stats.add("compile_seconds", cost)
+        self.kernel.cpu_run(cost, self._do_compile, src)
+
+    def _do_compile(self, src: MicrothreadSource) -> None:
+        key = (src.program, src.thread_id)
+        try:
+            compiled = compile_microthread(src, self.platform)
+        except CodeError as exc:
+            self.log("compile of %s failed: %s", src.name, exc)
+            self.stats.inc("compile_failures")
+            self._finish(key, None)
+            return
+        self._compiled[key] = compiled
+        self._push_binary_to_distribution(compiled)
+        self._finish(key, compiled)
+
+    def _push_binary_to_distribution(self,
+                                     compiled: CompiledMicrothread) -> None:
+        """Send a fresh binary to the code distribution site(s) (§4)."""
+        try:
+            info = self.site.program_manager.get(compiled.program)
+        except Exception:  # unknown program: nobody to push to
+            return
+        targets = {info.code_home}
+        for record in self.site.cluster_manager.alive_peers():
+            if record.code_distribution:
+                targets.add(record.logical)
+        targets.discard(self.local_id)
+        blob = binary_from_compiled(compiled)
+        for target in targets:
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.CODE_PUSH_BINARY,
+                src_site=self.local_id, src_manager=ManagerId.CODE,
+                dst_site=target, dst_manager=ManagerId.CODE,
+                program=compiled.program,
+                payload={
+                    "pid": compiled.program,
+                    "tid": compiled.thread_id,
+                    "platform": compiled.platform,
+                    "binary": blob,
+                },
+            ))
+            self.stats.inc("binaries_pushed")
+
+    # ------------------------------------------------------------------
+    # remote fetch
+
+    def _request_remote(self, pid: int, tid: int) -> None:
+        key = (pid, tid)
+        if not self.site.program_manager.knows(pid):
+            self.log("no program info for %d; cannot locate code home", pid)
+            self._finish(key, None)
+            return
+        info = self.site.program_manager.get(pid)
+        target = self.site.cluster_manager.effective_site(info.code_home)
+        if target == self.local_id:
+            # we *are* (or inherited) the code home but lack the source —
+            # can happen after crashes; give up on this fetch
+            self._finish(key, None)
+            return
+        msg = SDMessage(
+            type=MsgType.CODE_REQUEST,
+            src_site=self.local_id, src_manager=ManagerId.CODE,
+            dst_site=target, dst_manager=ManagerId.CODE,
+            program=pid,
+            payload={"pid": pid, "tid": tid, "platform": self.platform},
+        )
+        self.stats.inc("requests_sent")
+        ok = self.site.message_manager.request(
+            msg, self._on_code_reply,
+            timeout=2.0, on_timeout=lambda: self._finish(key, None))
+        if not ok:
+            self._finish(key, None)
+
+    def _on_code_reply(self, msg: SDMessage) -> None:
+        pid = msg.payload["pid"]
+        tid = msg.payload["tid"]
+        key = (pid, tid)
+        if msg.type == MsgType.CODE_REPLY_BINARY:
+            meta = msg.payload["meta"]
+            src = MicrothreadSource.from_wire(meta)
+            try:
+                compiled = compiled_from_binary(
+                    msg.payload["binary"], src, self.platform)
+            except CodeError as exc:
+                self.log("binary for %s unusable: %s", src.name, exc)
+                self._finish(key, None)
+                return
+            self._compiled[key] = compiled
+            self.stats.inc("binaries_received")
+            self._finish(key, compiled)
+        elif msg.type == MsgType.CODE_REPLY_SOURCE:
+            src = MicrothreadSource.from_wire(msg.payload["source"])
+            self.store_source(src)
+            self.stats.inc("sources_received")
+            self._compile_local(src)
+        elif msg.type == MsgType.CODE_NOT_FOUND:
+            self.stats.inc("not_found")
+            self._finish(key, None)
+        else:
+            self.log("unexpected code reply %s", msg.type.name)
+            self._finish(key, None)
+
+    # ------------------------------------------------------------------
+    # serving other sites
+
+    def handle(self, msg: SDMessage) -> None:
+        if msg.type == MsgType.CODE_REQUEST:
+            self._on_code_request(msg)
+        elif msg.type == MsgType.CODE_PUSH_BINARY:
+            payload = msg.payload
+            self._binaries[(payload["pid"], payload["tid"],
+                            payload["platform"])] = payload["binary"]
+            self.stats.inc("binaries_stored")
+        elif msg.type in (MsgType.CODE_REPLY_BINARY,
+                          MsgType.CODE_REPLY_SOURCE,
+                          MsgType.CODE_NOT_FOUND):
+            # reply that arrived after its request timed out — still useful
+            self._on_code_reply(msg)
+        else:
+            super().handle(msg)
+
+    def _on_code_request(self, msg: SDMessage) -> None:
+        pid = msg.payload["pid"]
+        tid = msg.payload["tid"]
+        platform = msg.payload["platform"]
+        key = (pid, tid)
+        # 1) a stored binary for the requested platform
+        blob = self._binaries.get((pid, tid, platform))
+        if blob is None:
+            compiled = self._compiled.get(key)
+            if compiled is not None and compiled.platform == platform:
+                blob = binary_from_compiled(compiled)
+        src = self._sources.get(key)
+        if blob is not None:
+            meta_src = src or self._meta_only_source(pid, tid)
+            if meta_src is not None:
+                self.site.message_manager.send(make_reply(
+                    msg, MsgType.CODE_REPLY_BINARY, {
+                        "pid": pid, "tid": tid,
+                        "binary": blob,
+                        "meta": meta_src.to_wire(),
+                    }))
+                self.stats.inc("binaries_served")
+                return
+        # 2) source, for the requester to compile on the fly
+        if src is not None:
+            self.site.message_manager.send(make_reply(
+                msg, MsgType.CODE_REPLY_SOURCE, {
+                    "pid": pid, "tid": tid,
+                    "source": src.to_wire(),
+                }))
+            self.stats.inc("sources_served")
+            return
+        self.site.message_manager.send(make_reply(
+            msg, MsgType.CODE_NOT_FOUND, {"pid": pid, "tid": tid}))
+        self.stats.inc("not_found_served")
+
+    def _meta_only_source(self, pid: int,
+                          tid: int) -> Optional[MicrothreadSource]:
+        """Thread metadata without source text (for binary-only replies)."""
+        if not self.site.program_manager.knows(pid):
+            return None
+        info = self.site.program_manager.get(pid)
+        for name, (thread_id, nparams, work, creates) in info.threads.items():
+            if thread_id == tid:
+                return MicrothreadSource(
+                    thread_id=tid, name=name, program=pid, source="",
+                    nparams=nparams, work_hint=work, creates=creates)
+        return None
+
+    def status(self) -> dict:
+        base = super().status()
+        base["compiled"] = len(self._compiled)
+        base["sources"] = len(self._sources)
+        base["binaries"] = len(self._binaries)
+        return base

@@ -1,0 +1,238 @@
+"""Configuration dataclasses for sites, cluster, network, and cost model.
+
+The :class:`CostModel` is what stands in for the paper's Pentium IV testbed:
+simulated executions charge *work units* (via ``ctx.charge``) and protocol
+actions charge fixed CPU costs, so the discrete-event kernel produces
+realistic, reproducible timings.  Defaults are calibrated in
+``repro.bench.calibration`` so that the single-site SDVM overhead for the
+paper's prime benchmark lands near the reported ~3 % (§5) and the Table 1
+speedup bands are met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """CPU-side cost parameters (all in seconds unless noted).
+
+    ``work_unit_time`` converts application work units into seconds on a
+    site of speed 1.0; a site of speed ``s`` executes work ``w`` in
+    ``w * work_unit_time / s`` seconds.
+    """
+
+    work_unit_time: float = 1e-6
+    #: fixed CPU cost to serialize+dispatch one message (message manager)
+    msg_fixed_cost: float = 12e-6
+    #: additional per-byte serialize cost
+    msg_byte_cost: float = 2e-9
+    #: scheduling-manager decision (queue pop, code lookup trigger)
+    sched_decision_cost: float = 3e-6
+    #: allocating a microframe in the attraction memory
+    frame_alloc_cost: float = 4e-6
+    #: applying one result parameter to a waiting microframe
+    result_apply_cost: float = 2e-6
+    #: processing-manager context switch between virtually parallel threads
+    context_switch_cost: float = 5e-6
+    #: fixed + per-source-byte cost of compiling a microthread on the fly
+    compile_fixed_cost: float = 0.08
+    compile_byte_cost: float = 4e-7
+    #: per-byte cost of encrypting/decrypting a message (security manager)
+    crypto_byte_cost: float = 6e-9
+    #: fixed cost of encrypting/decrypting a message
+    crypto_fixed_cost: float = 6e-6
+    #: snapshotting one byte of state during a checkpoint wave
+    checkpoint_byte_cost: float = 3e-9
+    #: fixed per-site checkpoint cost (quiesce + bookkeeping)
+    checkpoint_fixed_cost: float = 2e-3
+
+    def work_seconds(self, work: float, speed: float) -> float:
+        """Seconds to execute ``work`` units on a site of relative ``speed``."""
+        if speed <= 0:
+            raise ConfigError(f"site speed must be positive, got {speed}")
+        return work * self.work_unit_time / speed
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Link-level model for the simulated network (network manager, §4)."""
+
+    #: one-way propagation latency per link
+    latency: float = 120e-6
+    #: link bandwidth, bytes/second (100 Mbit/s LAN by default)
+    bandwidth: float = 12.5e6
+    #: transport protocol model (§4: TCP works, UDP not viable, T/TCP proposed)
+    transport: Literal["tcp", "ttcp", "udp"] = "tcp"
+    #: per-message connection overhead for TCP (SYN/ACK handshake amortization)
+    tcp_handshake_cost: float = 250e-6
+    #: fraction of messages a connection cache absorbs the handshake for
+    tcp_connection_reuse: float = 0.9
+    #: T/TCP: single-packet transactions, tiny fixed cost instead of handshake
+    ttcp_transaction_cost: float = 30e-6
+    #: UDP model: loss probability and reorder probability per message
+    udp_loss_rate: float = 0.01
+    udp_reorder_rate: float = 0.05
+    #: random jitter fraction applied to latency (0 disables; deterministic seed)
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigError("latency must be >= 0 and bandwidth > 0")
+        if not (0.0 <= self.udp_loss_rate < 1.0):
+            raise ConfigError("udp_loss_rate must be in [0, 1)")
+        if self.transport not in ("tcp", "ttcp", "udp"):
+            raise ConfigError(f"unknown transport {self.transport!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulingConfig:
+    """Scheduling-manager policy knobs (§3.3, §4)."""
+
+    #: local execution order.  Paper: FIFO "momentarily" to avoid starvation.
+    local_policy: Literal["fifo", "lifo", "priority"] = "fifo"
+    #: which frame to give away on a help request.  Paper: LIFO to hide latency.
+    help_reply_policy: Literal["fifo", "lifo"] = "lifo"
+    #: how long an idle site waits before re-sending help requests
+    help_retry_interval: float = 5e-4
+    #: keep one steal in flight even while computing, so the ready queue
+    #: hides steal latency ("the communication latencies due to the
+    #: automatic distribution of microframes should be hidden", §4)
+    prefetch_steal: bool = True
+    #: how many distinct sites to ask per help round
+    help_fanout: int = 1
+    #: keep this many frames in the ready queue (prefetch code eagerly)
+    ready_target: int = 2
+    #: honour CDAG scheduling hints (priority / critical path), §3.3
+    use_hints: bool = True
+    #: refuse to give away frames when fewer than this many remain locally
+    keep_local_min: int = 1
+
+    def __post_init__(self) -> None:
+        if self.help_fanout < 1:
+            raise ConfigError("help_fanout must be >= 1")
+        if self.ready_target < 1:
+            raise ConfigError("ready_target must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Cluster-manager knobs: membership, id allocation, liveness (§3.4, §4)."""
+
+    #: logical-id allocation strategy (the three concepts discussed in §4)
+    id_allocation: Literal["central", "contingent", "modulo"] = "central"
+    #: size of the id block handed to each contingent server
+    contingent_size: int = 16
+    #: whether sites exchange heartbeats (required for crash detection;
+    #: off by default so idle clusters quiesce and sim runs terminate)
+    heartbeats_enabled: bool = False
+    #: heartbeat period and the timeout after which a site is declared crashed
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 2.0
+    #: how many known sites to piggyback on each cluster-info exchange
+    gossip_fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.contingent_size < 1:
+            raise ConfigError("contingent_size must be >= 1")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigError("heartbeat_timeout must exceed heartbeat_interval")
+
+
+@dataclass(frozen=True, slots=True)
+class SecurityConfig:
+    """Security-manager knobs (§4)."""
+
+    enabled: bool = False
+    #: pre-shared cluster password used to authenticate first contact
+    cluster_password: str = "sdvm"
+    #: Diffie-Hellman modulus size (bits) for the didactic key exchange
+    dh_bits: int = 256
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointConfig:
+    """Crash-management knobs (§2.2, ref [4])."""
+
+    enabled: bool = False
+    #: seconds between coordinated checkpoint waves
+    interval: float = 5.0
+    #: how many replicas of each site snapshot to keep on other sites
+    replicas: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class PowerConfig:
+    """Power management — the paper's organic-computing proposal (§2.2).
+
+    "If the system's power supply is low or sites are out of work, some
+    sites are switched to a sleep state."  Out-of-work sites sleep after
+    ``sleep_after`` idle seconds (no stealing, no heartbeat chatter) and
+    wake on the first incoming message.  Wattages feed the per-site energy
+    accounting used by ``benchmarks/bench_power_sleep.py``.
+    """
+
+    enabled: bool = False
+    sleep_after: float = 0.5
+    busy_watts: float = 100.0
+    idle_watts: float = 60.0
+    sleep_watts: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.sleep_after <= 0:
+            raise ConfigError("sleep_after must be positive")
+        if min(self.busy_watts, self.idle_watts, self.sleep_watts) < 0:
+            raise ConfigError("wattages must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class SiteConfig:
+    """Per-site properties advertised at sign-on (§3.4)."""
+
+    #: relative processing speed (1.0 = the paper's P4 1.7 GHz reference)
+    speed: float = 1.0
+    #: binary-format tag (the paper's Linux/HP-UX platform id, §3.4)
+    platform: str = "py-generic"
+    #: number of virtually parallel microthreads for latency hiding (§4: ~5).
+    #: 0 makes the site service-only (memory/code server, no execution)
+    max_parallel: int = 5
+    #: human-readable name for logs
+    name: str = ""
+    #: whether this site stores every microthread (code distribution site, §4)
+    code_distribution: bool = False
+    #: §2.2 public-resource-computing proposal: "The SDVM is run on a core
+    #: of reliable sites ... and unsafe sites."  Unreliable sites never
+    #: coordinate checkpoints, keep snapshots, or inherit state — their
+    #: crashes are intercepted by the reliable core.
+    reliable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ConfigError("site speed must be positive")
+        if self.max_parallel < 0:
+            raise ConfigError("max_parallel must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class SDVMConfig:
+    """Aggregate configuration for a cluster run."""
+
+    cost: CostModel = field(default_factory=CostModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    #: record a per-site event journal (executions, steals, membership,
+    #: checkpoints) for the repro.trace timeline tools
+    journal: bool = False
+    seed: int = 0
+
+    def with_(self, **kwargs: object) -> "SDVMConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]

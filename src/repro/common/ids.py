@@ -1,0 +1,119 @@
+"""Identifier types used throughout the SDVM.
+
+The paper distinguishes *logical* site ids (assigned by the cluster manager
+at sign-on, §4) from *physical* addresses (ip:port, known only to the network
+manager).  Global memory addresses embed the id of the site an object was
+created on (§4, attraction memory), so any site can locate an object's
+homesite directory by inspecting the address alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NewType
+
+# Logical site id.  Assigned by the cluster manager during sign-on.  Site ids
+# are small non-negative integers; NO_SITE marks "unassigned".
+SiteId = NewType("SiteId", int)
+NO_SITE: SiteId = SiteId(-1)
+
+# A program id distinguishes concurrently running applications (§4, program
+# manager).  It embeds the id of the site the program was started on so the
+# code home site is always derivable.
+ProgramId = NewType("ProgramId", int)
+
+# Microthread ids are stable names scoped to a program: (program, index).
+ThreadId = NewType("ThreadId", int)
+
+# Platform ids tag binary formats (the paper's Linux/HP-UX example, §3.4).
+PlatformId = NewType("PlatformId", str)
+
+
+class ManagerId(enum.IntEnum):
+    """Addressable managers inside a site daemon (paper Fig. 3).
+
+    Every SDMessage carries source and target manager ids in addition to the
+    site ids, so all communication is manager-to-manager (§4, message
+    manager).
+    """
+
+    PROCESSING = 1
+    SCHEDULING = 2
+    CODE = 3
+    ATTRACTION_MEMORY = 4
+    IO = 5
+    MESSAGE = 6
+    CLUSTER = 7
+    PROGRAM = 8
+    SITE = 9
+    NETWORK = 10
+    SECURITY = 11
+    CRASH = 12  # crash management (paper §2.2 / ref [4]); modelled as its own manager
+
+
+_SITE_SHIFT = 40
+_LOCAL_MASK = (1 << _SITE_SHIFT) - 1
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class GlobalAddress:
+    """A global memory address: (homesite id, local object number).
+
+    The paper: "It will receive a global memory address (containing the id of
+    the site it is created on) and is thus accessible from all sites in the
+    cluster" (§4).  The homesite id never changes even if the object
+    migrates; the homesite directory tracks the current location.
+    """
+
+    site: int
+    local: int
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ValueError(f"GlobalAddress.site must be >= 0, got {self.site}")
+        if self.local < 0:
+            raise ValueError(f"GlobalAddress.local must be >= 0, got {self.local}")
+
+    def pack(self) -> int:
+        """Pack into a single integer (used on the wire)."""
+        return (self.site << _SITE_SHIFT) | (self.local & _LOCAL_MASK)
+
+    @classmethod
+    def unpack(cls, value: int) -> "GlobalAddress":
+        return cls(site=value >> _SITE_SHIFT, local=value & _LOCAL_MASK)
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return f"@{self.site}:{self.local}"
+
+
+# Microframes are a special kind of global data (§4) so a frame id *is* a
+# global address.
+FrameId = GlobalAddress
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class FileHandle:
+    """A cluster-wide unique file handle (§4, I/O manager).
+
+    Contains the site id of the machine the file resides on, so any site can
+    reroute accesses to the appropriate site.
+    """
+
+    site: int
+    local: int
+
+    def __repr__(self) -> str:
+        return f"fh[{self.site}:{self.local}]"
+
+
+def make_program_id(origin_site: int, serial: int) -> ProgramId:
+    """Build a program id embedding the origin (code home) site."""
+    if origin_site < 0 or serial < 0:
+        raise ValueError("origin_site and serial must be non-negative")
+    return ProgramId((origin_site << 20) | serial)
+
+
+def program_origin_site(pid: ProgramId) -> SiteId:
+    """Extract the origin site (implicit code distribution site, §4)."""
+    return SiteId(int(pid) >> 20)

@@ -1,0 +1,106 @@
+"""Lightweight statistics primitives used by the site manager (§4).
+
+The site manager "collects performance data about the local site, e. g. the
+workload, memory load, number of executable microframes in the queue" — these
+counters and timers are its raw material, and the benchmark harness reads
+them to report message counts, migrations, steals, and busy time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing event counter with a value accumulator."""
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Counter") -> None:
+        self.count += other.count
+        self.total += other.total
+
+
+@dataclass(slots=True)
+class Timer:
+    """Accumulates busy intervals on a (simulated or real) clock."""
+
+    busy: float = 0.0
+    _started_at: float = math.nan
+
+    def start(self, now: float) -> None:
+        if not math.isnan(self._started_at):
+            raise RuntimeError("Timer already running")
+        self._started_at = now
+
+    def stop(self, now: float) -> float:
+        if math.isnan(self._started_at):
+            raise RuntimeError("Timer not running")
+        delta = now - self._started_at
+        if delta < 0:
+            raise ValueError("clock went backwards")
+        self.busy += delta
+        self._started_at = math.nan
+        return delta
+
+    @property
+    def running(self) -> bool:
+        return not math.isnan(self._started_at)
+
+
+class StatSet:
+    """A named collection of counters, cheap to create and merge.
+
+    >>> s = StatSet()
+    >>> s.inc("messages_sent")
+    >>> s.add("bytes_sent", 128)
+    >>> s["messages_sent"].count
+    1
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def __getitem__(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def inc(self, name: str) -> None:
+        self[name].add(1.0)
+
+    def add(self, name: str, value: float) -> None:
+        self[name].add(value)
+
+    def get(self, name: str) -> Counter:
+        """Read-only access that does not create the counter."""
+        return self._counters.get(name, Counter())
+
+    def merge(self, other: "StatSet") -> None:
+        for name, counter in other._counters.items():
+            self[name].merge(counter)
+
+    def items(self) -> Iterator[Tuple[str, Counter]]:
+        return iter(sorted(self._counters.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: c.total for name, c in self._counters.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={c.total:g}" for k, c in self.items())
+        return f"StatSet({inner})"

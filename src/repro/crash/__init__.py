@@ -1,0 +1,18 @@
+"""Crash management (paper §2.2, §6, ref [4]).
+
+"As the SDVM has an automatic backup and recovery mechanism (which uses
+checkpointing), even crashes of individual sites may be overcome without
+loss of data."
+
+Implemented as a coordinated checkpoint protocol (see DESIGN.md,
+"Simplifications"): the coordinator (lowest alive logical id) periodically
+runs a wave — pause intake, drain in-flight executions, let in-flight
+messages settle, snapshot every site, commit.  On a crash (heartbeat
+timeout, detected by the cluster manager) the coordinator rolls every
+survivor back to the last committed wave, adopts the dead site's shard, and
+resumes; execution epochs fence off effects from pre-recovery executions.
+"""
+
+from repro.crash.manager import CrashManager
+
+__all__ = ["CrashManager"]

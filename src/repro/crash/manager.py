@@ -1,0 +1,275 @@
+"""The crash manager: checkpoint waves, crash detection hooks, recovery."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.common.ids import ManagerId
+from repro.messages import MsgType, SDMessage
+from repro.site.manager_base import Manager
+
+
+class CrashManager(Manager):
+    manager_id = ManagerId.CRASH
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self._timer = None
+        # --- coordinator state ------------------------------------------
+        self._wave = 0
+        self._acks_pending: Set[int] = set()
+        self._states_pending: Set[int] = set()
+        self._collected: Dict[int, dict] = {}
+        #: last committed snapshot: {site logical: state}, and its wave id
+        self.committed_wave = -1
+        self.committed: Dict[int, dict] = {}
+        self._recovering = False
+        #: (wave, coordinator) while waiting for local executions to drain
+        self._pending_ack: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.config.checkpoint.enabled
+
+    def is_coordinator(self) -> bool:
+        """Lowest alive *reliable* site coordinates (§2.2: the reliable
+        core intercepts crashes of unsafe sites); if the whole cluster is
+        unreliable, fall back to the lowest alive site."""
+        records = [r for r in self.site.cluster_manager.sites.values()
+                   if r.alive]
+        if not records:
+            return False
+        reliable = [r.logical for r in records if r.reliable]
+        pool = reliable if reliable else [r.logical for r in records]
+        return self.local_id == min(pool)
+
+    def _settle_delay(self) -> float:
+        # long enough for every pre-pause message to land
+        return 6.0 * self.config.network.latency + 2e-3
+
+    # ------------------------------------------------------------------
+    # periodic checkpoint waves (coordinator only)
+
+    def on_start(self) -> None:
+        if self.enabled:
+            self._schedule_wave()
+
+    def _schedule_wave(self) -> None:
+        self._timer = self.kernel.call_later(self.config.checkpoint.interval,
+                                             self._wave_tick)
+
+    def _wave_tick(self) -> None:
+        self._timer = None
+        if not self.site.running:
+            return
+        if (self.is_coordinator() and not self._recovering
+                and self.site.program_manager.has_active_programs()):
+            self.start_checkpoint()
+        self._schedule_wave()
+
+    def start_checkpoint(self) -> None:
+        """Coordinator: begin a checkpoint wave across all alive sites."""
+        self._wave += 1
+        alive = [r.logical for r in self.site.cluster_manager.sites.values()
+                 if r.alive]
+        self._acks_pending = set(alive)
+        self._states_pending = set(alive)
+        self._collected = {}
+        self.stats.inc("waves_started")
+        for logical in alive:
+            self._send_ctrl(logical, MsgType.CHECKPOINT_BEGIN,
+                            {"wave": self._wave, "phase": "pause"})
+
+    def _send_ctrl(self, logical: int, mtype: MsgType,
+                   payload: dict) -> None:
+        if logical == self.local_id:
+            self._handle_ctrl(mtype, dict(payload), self.local_id)
+            return
+        self.site.message_manager.send(SDMessage(
+            type=mtype,
+            src_site=self.local_id, src_manager=ManagerId.CRASH,
+            dst_site=logical, dst_manager=ManagerId.CRASH,
+            payload=payload,
+        ))
+
+    # ------------------------------------------------------------------
+    # participant side
+
+    def _on_pause(self, wave: int, coordinator: int) -> None:
+        self.site.paused = True
+        self._pending_ack = (wave, coordinator)
+        self.maybe_ack_drained()
+
+    def maybe_ack_drained(self) -> None:
+        """Called by the processing manager as executions complete."""
+        pending = self._pending_ack
+        if pending is None or not self.site.paused:
+            return
+        if self.site.processing_manager.in_flight > 0:
+            return
+        wave, coordinator = pending
+        self._pending_ack = None
+        self._send_ctrl(coordinator, MsgType.CHECKPOINT_ACK, {"wave": wave})
+
+    def _on_snapshot_request(self, wave: int, coordinator: int) -> None:
+        from repro.serde import dumps, loads
+        # deep-copy through the wire codec: frame parameters hold live
+        # references to application values (e.g. a mutable state dict that
+        # keeps evolving after the wave) — a by-reference snapshot would be
+        # an inconsistent cut.  Remote shards get this copy for free when
+        # the message encodes; the coordinator's own shard does not.
+        state = loads(dumps(self.site.attraction_memory.export_checkpoint()))
+        self._send_ctrl(coordinator, MsgType.CHECKPOINT_STATE,
+                        {"wave": wave, "state": state,
+                         "site": self.local_id})
+
+    def _on_commit(self, wave: int) -> None:
+        self.site.paused = False
+        self.stats.inc("waves_committed")
+        self.site.processing_manager.kick()
+        self.site.scheduling_manager.kick()
+
+    # ------------------------------------------------------------------
+    # coordinator collection
+
+    def _on_ack(self, wave: int, src: int) -> None:
+        if wave != self._wave:
+            return
+        self._acks_pending.discard(src)
+        if not self._acks_pending:
+            self.kernel.call_later(self._settle_delay(),
+                                   self._request_snapshots, wave)
+
+    def _request_snapshots(self, wave: int) -> None:
+        if wave != self._wave or not self.site.running:
+            return
+        for logical in list(self._states_pending):
+            self._send_ctrl(logical, MsgType.CHECKPOINT_BEGIN,
+                            {"wave": wave, "phase": "snapshot"})
+
+    def _on_state(self, wave: int, src: int, state: dict) -> None:
+        if wave != self._wave:
+            return
+        self._collected[src] = state
+        self._states_pending.discard(src)
+        if not self._states_pending:
+            self.committed_wave = wave
+            self.committed = dict(self._collected)
+            self.stats.inc("checkpoints_committed")
+            for logical in list(self.committed):
+                self._send_ctrl(logical, MsgType.CHECKPOINT_COMMIT,
+                                {"wave": wave})
+
+    # ------------------------------------------------------------------
+    # crash handling
+
+    def on_site_dead(self, logical: int, orderly: bool) -> None:
+        """Cluster manager reports a peer gone.
+
+        Orderly sign-offs relocated their state already; real crashes
+        trigger rollback recovery from the last committed checkpoint.
+        """
+        if orderly or not self.site.running:
+            return
+        self.stats.inc("crashes_observed")
+        if not self.is_coordinator():
+            return
+        if self.committed_wave < 0:
+            # §2.2: without a checkpoint, the damage cannot be undone
+            self.log("site %d crashed with no committed checkpoint; "
+                     "failing active programs", logical)
+            for info in list(self.site.program_manager.programs.values()):
+                if not info.terminated:
+                    self.site.program_manager.local_exit(
+                        info.pid, None, failed=True,
+                        failure=f"site {logical} crashed; no checkpoint")
+            return
+        self._start_recovery(dead=logical)
+
+    def _start_recovery(self, dead: int) -> None:
+        self._recovering = True
+        self.stats.inc("recoveries")
+        alive = [r.logical for r in self.site.cluster_manager.sites.values()
+                 if r.alive]
+        # compute the new epoch once — handling our own RECOVER_BEGIN below
+        # bumps self.site.epoch, so an inline read would skew later sends
+        new_epoch = self.site.epoch + 1
+        for logical in alive:
+            self._send_ctrl(logical, MsgType.RECOVER_BEGIN,
+                            {"epoch": new_epoch, "dead": dead,
+                             "heir": self.local_id})
+        self.kernel.call_later(self._settle_delay(),
+                               self._distribute_snapshot, dead, set(alive))
+
+    def _on_recover_begin(self, payload: dict) -> None:
+        self.site.epoch = payload["epoch"]
+        self.site.paused = True
+        dead = payload["dead"]
+        heir = payload["heir"]
+        record = self.site.cluster_manager.sites.get(dead)
+        if record is not None:
+            record.alive = False
+            record.heir = heir
+        self.site.reset_program_state()
+
+    def _distribute_snapshot(self, dead: int, alive: Set[int]) -> None:
+        for shard_site, state in self.committed.items():
+            target = shard_site if shard_site in alive else self.local_id
+            self._send_ctrl(target, MsgType.RECOVER_STATE, {"state": state})
+        self.kernel.call_later(self._settle_delay(), self._finish_recovery,
+                               alive)
+
+    def _finish_recovery(self, alive: Set[int]) -> None:
+        self._recovering = False
+        for logical in alive:
+            self._send_ctrl(logical, MsgType.RECOVER_DONE, {})
+
+    def _on_recover_state(self, state: dict) -> None:
+        self.site.attraction_memory.adopt_state(state)
+
+    def _on_recover_done(self) -> None:
+        self.site.paused = False
+        self.stats.inc("recoveries_completed")
+        self.site.processing_manager.kick()
+        self.site.scheduling_manager.kick()
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: SDMessage) -> None:
+        self._handle_ctrl(msg.type, msg.payload, msg.src_site)
+
+    def _handle_ctrl(self, mtype: MsgType, payload: dict, src: int) -> None:
+        if mtype == MsgType.CHECKPOINT_BEGIN:
+            if payload["phase"] == "pause":
+                self._on_pause(payload["wave"], src)
+            else:
+                self._on_snapshot_request(payload["wave"], src)
+        elif mtype == MsgType.CHECKPOINT_ACK:
+            self._on_ack(payload["wave"], src)
+        elif mtype == MsgType.CHECKPOINT_STATE:
+            self._on_state(payload["wave"], payload["site"],
+                           payload["state"])
+        elif mtype == MsgType.CHECKPOINT_COMMIT:
+            self._on_commit(payload["wave"])
+        elif mtype == MsgType.RECOVER_BEGIN:
+            self._on_recover_begin(payload)
+        elif mtype == MsgType.RECOVER_STATE:
+            self._on_recover_state(payload["state"])
+        elif mtype == MsgType.RECOVER_DONE:
+            self._on_recover_done()
+        else:
+            raise_unexpected = super().handle
+            raise_unexpected(SDMessage(
+                type=mtype, src_site=src, src_manager=ManagerId.CRASH,
+                dst_site=self.local_id, dst_manager=ManagerId.CRASH))
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self.kernel.cancel(self._timer)
+            self._timer = None
+
+    def status(self) -> dict:
+        base = super().status()
+        base["committed_wave"] = self.committed_wave
+        base["recovering"] = self._recovering
+        return base

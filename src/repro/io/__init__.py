@@ -1,0 +1,13 @@
+"""Input/output manager (paper §4).
+
+"Disk files are given a unique file handle when they are accessed for the
+first time (which contains the site id of the machine the file resides on).
+Therefore all other sites can access any opened file using this file handle
+— the access is automatically rerouted to the appropriate site.  As the
+SDVM is run as a daemon and operated using a front end, the I/O manager
+sends all output and input requests to the front end."
+"""
+
+from repro.io.manager import IOManager
+
+__all__ = ["IOManager"]

@@ -1,0 +1,16 @@
+"""Attraction memory — the SDVM's COMA-style global memory (paper §4).
+
+"The attraction memory contains the local part of the global memory.  It
+behaves like a COMA's attraction memory by attracting requested data to the
+local site transparently.  Microframes as a special kind of global data are
+stored in and migrated by the attraction memory as well, until they have
+received all their parameters."
+
+Every object and frame has a *homesite* baked into its global address; the
+homesite keeps a directory entry pointing at the current owner ("homesite
+directory", §4, ref [5]).
+"""
+
+from repro.memory.manager import AttractionMemory
+
+__all__ = ["AttractionMemory"]

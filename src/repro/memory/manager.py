@@ -1,0 +1,452 @@
+"""The attraction memory manager.
+
+Two access paths exist, matching DESIGN.md:
+
+* **sim shortcut** (``sim_read``/``sim_write``): values resolve against the
+  cluster-wide object directory at execution start time; ownership
+  migration, homesite-directory updates, and the modelled round-trip
+  latencies are all real and feed the benchmarks.
+* **message protocol** (MEM_READ / MEM_READ_REPLY / MEM_WRITE /
+  MEM_LOCATION / MEM_HOME_UPDATE): the full COMA protocol used by the live
+  runtime's blocking contexts, with homesite redirection.
+
+Result application (APPLY_RESULT) is always message-based — it is what
+drives dataflow timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import FrameStateError, MemoryFault
+from repro.common.ids import GlobalAddress, ManagerId
+from repro.core.frames import Microframe
+from repro.messages import MsgType, SDMessage, make_reply
+from repro.serde import encoded_size
+from repro.site.manager_base import Manager
+
+
+class AttractionMemory(Manager):
+    manager_id = ManagerId.ATTRACTION_MEMORY
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self._next_local = 1
+        #: incomplete microframes waiting for parameters
+        self.frames: Dict[GlobalAddress, Microframe] = {}
+        #: results that arrived before their frame was registered
+        self._pending_results: Dict[GlobalAddress, List[Tuple[int, Any]]] = {}
+        #: program id of buffered results (so termination can clean up)
+        self._pending_programs: Dict[GlobalAddress, int] = {}
+        #: memory objects currently owned by this site
+        self.objects: Dict[GlobalAddress, Any] = {}
+        #: homesite directory: for objects created here, the current owner
+        self.home_dir: Dict[GlobalAddress, int] = {}
+
+    # ------------------------------------------------------------------
+    # address allocation
+
+    def alloc_address(self) -> GlobalAddress:
+        """Fresh global address homed at this site."""
+        addr = GlobalAddress(self.local_id, self._next_local)
+        self._next_local += 1
+        return addr
+
+    # ------------------------------------------------------------------
+    # microframes
+
+    def register_frame(self, frame: Microframe) -> None:
+        """Adopt a newly created (or migrated-in) microframe."""
+        self.kernel.cpu_charge(self.cost.frame_alloc_cost)
+        self.stats.inc("frames_registered")
+        pending = self._pending_results.pop(frame.frame_id, None)
+        self._pending_programs.pop(frame.frame_id, None)
+        if pending is not None:
+            for slot, value in pending:
+                frame.apply_parameter(slot, value)
+        if frame.executable:
+            self.site.scheduling_manager.enqueue_executable(frame)
+        else:
+            self.frames[frame.frame_id] = frame
+
+    def apply_result(self, addr: GlobalAddress, slot: int, value: Any,
+                     program: int) -> None:
+        """Apply a microthread result to the frame at ``addr`` (local or
+        remote — the paper's "writes results to incomplete microframes")."""
+        frame = self.frames.get(addr)
+        if frame is not None or addr.site == self.local_id:
+            self._apply_local(addr, slot, value, program)
+            return
+        target = self.site.cluster_manager.effective_site(addr.site)
+        if target == self.local_id:
+            # we inherited the leaver's address space
+            self._apply_local(addr, slot, value, program)
+            return
+        sent = self.site.message_manager.send(SDMessage(
+            type=MsgType.APPLY_RESULT,
+            src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=target, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            program=program,
+            payload={"addr": addr, "slot": slot, "value": value},
+        ))
+        if sent:
+            self.stats.inc("results_sent")
+        else:
+            self.stats.inc("results_undeliverable")
+
+    def _apply_local(self, addr: GlobalAddress, slot: int, value: Any,
+                     program: int) -> None:
+        self.kernel.cpu_charge(self.cost.result_apply_cost)
+        frame = self.frames.get(addr)
+        if frame is None:
+            if not self.site.program_manager.is_active(program):
+                self.stats.inc("results_dropped_terminated")
+                return
+            # frame not registered yet (live-mode race / relocation window):
+            # buffer until it shows up
+            self._pending_results.setdefault(addr, []).append((slot, value))
+            self._pending_programs[addr] = program
+            self.stats.inc("results_buffered")
+            return
+        try:
+            became_executable = frame.apply_parameter(slot, value)
+        except FrameStateError:
+            # duplicate delivery: after a rollback recovery, restored
+            # producers re-send results a restored consumer already holds
+            # (at-least-once).  Slots are single-producer, so a duplicate
+            # always carries the same value and is safe to drop.
+            self.stats.inc("duplicate_results_dropped")
+            return
+        self.stats.inc("results_applied")
+        if became_executable:
+            del self.frames[addr]
+            self.site.scheduling_manager.enqueue_executable(frame)
+
+    def drop_program(self, pid: int) -> None:
+        for addr in [a for a, f in self.frames.items() if f.program == pid]:
+            del self.frames[addr]
+        for addr in [a for a, p in self._pending_programs.items() if p == pid]:
+            self._pending_results.pop(addr, None)
+            del self._pending_programs[addr]
+
+    # ------------------------------------------------------------------
+    # memory objects — sim shortcut path
+
+    def alloc_object(self, value: Any) -> GlobalAddress:
+        addr = self.alloc_address()
+        self.objects[addr] = value
+        self.home_dir[addr] = self.local_id
+        shared = getattr(self.kernel, "shared", None)
+        if shared is not None:
+            shared.objects[addr.pack()] = (self.local_id, value)
+        self.stats.inc("objects_allocated")
+        return addr
+
+    def sim_read(self, addr: GlobalAddress) -> Tuple[Any, float]:
+        """Resolve a read; returns (value, modelled wait seconds).
+
+        A remote hit *attracts* the object: ownership migrates here, the
+        homesite directory is updated, and the round-trip cost (request +
+        object transfer at link bandwidth) is charged as wait time.
+        """
+        if addr in self.objects:
+            self.stats.inc("reads_local")
+            return self.objects[addr], 0.0
+        shared = self.kernel.shared
+        entry = shared.objects.get(addr.pack())
+        if entry is None:
+            raise MemoryFault(f"read of unknown global address {addr}")
+        owner, value = entry
+        self.stats.inc("reads_remote")
+        latency = self._migration_latency(owner, value)
+        self._migrate_in(addr, owner, value)
+        return value, latency
+
+    def sim_write(self, addr: GlobalAddress, value: Any) -> float:
+        """Apply a write effect; returns modelled wait seconds (0 if local)."""
+        if addr in self.objects:
+            self.objects[addr] = value
+            self.kernel.shared.objects[addr.pack()] = (self.local_id, value)
+            self.stats.inc("writes_local")
+            return 0.0
+        shared = self.kernel.shared
+        entry = shared.objects.get(addr.pack())
+        if entry is None:
+            raise MemoryFault(f"write to unknown global address {addr}")
+        owner, _old = entry
+        # write-migrate: attract the object, then write locally (COMA)
+        latency = self._migration_latency(owner, _old)
+        self._migrate_in(addr, owner, _old)
+        self.objects[addr] = value
+        shared.objects[addr.pack()] = (self.local_id, value)
+        self.stats.inc("writes_migrated")
+        return latency
+
+    def _migration_latency(self, owner: int, value: Any) -> float:
+        network = self.kernel.shared.network
+        my_phys = int(self.kernel.local_physical())
+        owner_rec = self.site.cluster_manager.sites.get(owner)
+        if owner_rec is None:
+            return 2.0 * network.config.latency
+        owner_phys = int(owner_rec.physical)
+        request = network.transit_delay(my_phys, owner_phys, 64)
+        reply = network.transit_delay(owner_phys, my_phys,
+                                      64 + encoded_size(value))
+        return request + reply
+
+    def _migrate_in(self, addr: GlobalAddress, owner: int,
+                    value: Any) -> None:
+        shared = self.kernel.shared
+        owner_site = shared.sites.get(owner)
+        if owner_site is not None:
+            owner_site.attraction_memory.objects.pop(addr, None)
+        self.objects[addr] = value
+        shared.objects[addr.pack()] = (self.local_id, value)
+        # homesite directory update
+        home_site = shared.sites.get(
+            self.site.cluster_manager.effective_site(addr.site))
+        if home_site is not None:
+            home_site.attraction_memory.home_dir[addr] = self.local_id
+        self.stats.inc("migrations_in")
+
+    # ------------------------------------------------------------------
+    # memory objects — message protocol (live kernel path)
+
+    def live_read(self, addr: GlobalAddress, cb) -> None:  # noqa: ANN001
+        """Resolve a read via the COMA message protocol (blocking contexts).
+
+        ``cb(value)`` on success; ``cb(None, error)`` on failure.  The read
+        *attracts* the object: the owner ships it with ownership and
+        updates the homesite directory.
+        """
+        if addr in self.objects:
+            self.stats.inc("reads_local")
+            cb(self.objects[addr])
+            return
+        target = self.site.cluster_manager.effective_site(addr.site)
+        if target == self.local_id:
+            owner = self.home_dir.get(addr)
+            if owner is None or owner == self.local_id:
+                cb(None, MemoryFault(f"read of unknown address {addr}"))
+                return
+            target = owner
+        self._live_read_at(addr, target, cb, attempt=0)
+
+    def _live_read_at(self, addr: GlobalAddress, target: int, cb,  # noqa: ANN001
+                      attempt: int) -> None:
+        if attempt > 4:
+            cb(None, MemoryFault(f"read of {addr}: too many redirects"))
+            return
+        msg = SDMessage(
+            type=MsgType.MEM_READ,
+            src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=target, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={"addr": addr, "migrate": True},
+        )
+        self.stats.inc("reads_remote")
+
+        def on_reply(reply: SDMessage) -> None:
+            if reply.type == MsgType.MEM_READ_REPLY:
+                value = reply.payload["value"]
+                if reply.payload.get("owned"):
+                    self.objects[addr] = value
+                    self.stats.inc("migrations_in")
+                cb(value)
+            elif reply.type == MsgType.MEM_LOCATION:
+                self._live_read_at(addr, reply.payload["owner"], cb,
+                                   attempt + 1)
+            else:
+                cb(None, MemoryFault(f"object {addr} not found"))
+
+        ok = self.site.message_manager.request(
+            msg, on_reply, timeout=2.0,
+            on_timeout=lambda: cb(None, MemoryFault(
+                f"read of {addr}: site {target} unresponsive")))
+        if not ok:
+            cb(None, MemoryFault(f"read of {addr}: cannot reach {target}"))
+
+    def apply_write(self, addr: GlobalAddress, value: Any) -> float:
+        """Mode-dispatched write: sim shortcut or live message protocol."""
+        if self.kernel.mode == "sim":
+            return self.sim_write(addr, value)
+        if addr in self.objects:
+            self.objects[addr] = value
+            self.stats.inc("writes_local")
+            return 0.0
+        target = self.site.cluster_manager.effective_site(addr.site)
+        self.site.message_manager.send(SDMessage(
+            type=MsgType.MEM_WRITE,
+            src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=target, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={"addr": addr, "value": value},
+        ))
+        self.stats.inc("writes_sent")
+        return 0.0
+
+    def handle(self, msg: SDMessage) -> None:
+        if msg.type == MsgType.APPLY_RESULT:
+            payload = msg.payload
+            self._apply_local(payload["addr"], payload["slot"],
+                              payload["value"], msg.program)
+        elif msg.type == MsgType.FRAME_TRANSFER:
+            self._on_frame_transfer(msg)
+        elif msg.type == MsgType.MEM_READ:
+            self._on_mem_read(msg)
+        elif msg.type == MsgType.MEM_WRITE:
+            self._on_mem_write(msg)
+        elif msg.type == MsgType.MEM_HOME_UPDATE:
+            self.home_dir[msg.payload["addr"]] = msg.payload["owner"]
+        elif msg.type == MsgType.MEM_READ_REPLY:
+            # late reply after a timed-out read: if it shipped ownership,
+            # adopt the object — dropping it would lose data
+            if msg.payload.get("owned"):
+                self.objects[msg.payload["addr"]] = msg.payload["value"]
+                self.stats.inc("migrations_in")
+        elif msg.type in (MsgType.MEM_LOCATION, MsgType.MEM_NOT_FOUND):
+            self.stats.inc("late_replies_ignored")
+        elif msg.type == MsgType.MEM_OBJECT:
+            self._on_bulk_adopt(msg)
+        else:
+            super().handle(msg)
+
+    def _on_frame_transfer(self, msg: SDMessage) -> None:
+        info_wire = msg.payload.get("program_info")
+        if info_wire is not None:
+            self.site.program_manager.learn_program_wire(info_wire)
+        frame = Microframe.from_wire(msg.payload["frame"])
+        self.stats.inc("frames_adopted")
+        self.register_frame(frame)
+
+    def _on_mem_read(self, msg: SDMessage) -> None:
+        addr = msg.payload["addr"]
+        migrate = msg.payload.get("migrate", True)
+        if addr in self.objects:
+            value = self.objects[addr]
+            if migrate:
+                del self.objects[addr]
+                self._notify_home(addr, msg.src_site)
+            self.site.message_manager.send(make_reply(
+                msg, MsgType.MEM_READ_REPLY,
+                {"addr": addr, "value": value, "owned": migrate}))
+            self.stats.inc("reads_served")
+            return
+        owner = self.home_dir.get(addr)
+        if owner is not None and owner != self.local_id:
+            self.site.message_manager.send(make_reply(
+                msg, MsgType.MEM_LOCATION, {"addr": addr, "owner": owner}))
+            self.stats.inc("redirects_served")
+            return
+        self.site.message_manager.send(make_reply(
+            msg, MsgType.MEM_NOT_FOUND, {"addr": addr}))
+
+    def _on_mem_write(self, msg: SDMessage) -> None:
+        addr = msg.payload["addr"]
+        if addr in self.objects:
+            self.objects[addr] = msg.payload["value"]
+            self.stats.inc("writes_served")
+            return
+        owner = self.home_dir.get(addr)
+        if owner is not None and owner != self.local_id:
+            forward = SDMessage(
+                type=MsgType.MEM_WRITE,
+                src_site=self.local_id,
+                src_manager=ManagerId.ATTRACTION_MEMORY,
+                dst_site=owner, dst_manager=ManagerId.ATTRACTION_MEMORY,
+                program=msg.program,
+                payload=dict(msg.payload),
+            )
+            self.site.message_manager.send(forward)
+
+    def _notify_home(self, addr: GlobalAddress, new_owner: int) -> None:
+        home = self.site.cluster_manager.effective_site(addr.site)
+        if home == self.local_id:
+            self.home_dir[addr] = new_owner
+            return
+        self.site.message_manager.send(SDMessage(
+            type=MsgType.MEM_HOME_UPDATE,
+            src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=home, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={"addr": addr, "owner": new_owner},
+        ))
+
+    # ------------------------------------------------------------------
+    # relocation (orderly sign-off, §3.4) and adoption
+
+    def export_state(self) -> dict:
+        """Serialize everything this site holds, for relocation to an heir.
+
+        "All microframes and the local part of the global memory have to be
+        relocated to other sites before shutdown" (§3.4).
+        """
+        sched_frames = self.site.scheduling_manager.export_frames()
+        return {
+            "frames": [f.to_wire() for f in self.frames.values()]
+                      + [f.to_wire() for f in sched_frames],
+            "objects": [(addr, value) for addr, value in self.objects.items()],
+            "home_dir": [(addr, owner) for addr, owner in self.home_dir.items()],
+            "pending": [(addr, slot, value, self._pending_programs.get(addr, -1))
+                        for addr, pairs in self._pending_results.items()
+                        for slot, value in pairs],
+            "programs": self.site.program_manager.known_programs_wire(),
+        }
+
+    def export_checkpoint(self) -> dict:
+        """Non-draining snapshot for a checkpoint wave (queues stay put)."""
+        sched_frames = self.site.scheduling_manager.snapshot_frames()
+        return {
+            "frames": [f.to_wire() for f in self.frames.values()]
+                      + [f.to_wire() for f in sched_frames],
+            "objects": [(addr, value) for addr, value in self.objects.items()],
+            "home_dir": [(addr, owner) for addr, owner in self.home_dir.items()],
+            "pending": [(addr, slot, value, self._pending_programs.get(addr, -1))
+                        for addr, pairs in self._pending_results.items()
+                        for slot, value in pairs],
+            "programs": self.site.program_manager.known_programs_wire(),
+        }
+
+    def reset_program_state(self) -> None:
+        """Drop all dataflow state prior to recovery adoption."""
+        self.frames.clear()
+        self._pending_results.clear()
+        self._pending_programs.clear()
+
+    def send_state_to_heir(self, heir: int) -> None:
+        self.site.message_manager.send(SDMessage(
+            type=MsgType.MEM_OBJECT,
+            src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=heir, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={"state": self.export_state(), "from": self.local_id},
+        ))
+
+    def _on_bulk_adopt(self, msg: SDMessage) -> None:
+        self.adopt_state(msg.payload["state"])
+        self.stats.inc("relocations_adopted")
+
+    def adopt_state(self, state: dict) -> None:
+        """Adopt a departed/recovered site's frames, objects, directory."""
+        self.site.program_manager.learn_programs_wire(state.get("programs", []))
+        shared = getattr(self.kernel, "shared", None)
+        for addr, value in state.get("objects", []):
+            self.objects[addr] = value
+            if shared is not None:
+                shared.objects[addr.pack()] = (self.local_id, value)
+        for addr, owner in state.get("home_dir", []):
+            # objects we just adopted are now owned here, not by the old owner
+            self.home_dir[addr] = (self.local_id if addr in self.objects
+                                   else owner)
+        for addr, slot, value, program in state.get("pending", []):
+            self._pending_results.setdefault(addr, []).append((slot, value))
+            if program >= 0:
+                self._pending_programs[addr] = program
+        for wire in state.get("frames", []):
+            frame = Microframe.from_wire(wire)
+            if self.site.program_manager.is_active(frame.program):
+                self.register_frame(frame)
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        base = super().status()
+        base["incomplete_frames"] = len(self.frames)
+        base["objects_owned"] = len(self.objects)
+        base["home_entries"] = len(self.home_dir)
+        return base

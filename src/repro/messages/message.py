@@ -1,0 +1,178 @@
+"""SDMessage definition, message-type registry, and wire encoding."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.errors import SerializationError
+from repro.common.ids import ManagerId
+from repro.serde import dumps, loads
+
+
+class MsgType(enum.IntEnum):
+    """Every message kind exchanged between SDVM managers.
+
+    Grouped by owning protocol; the paper describes each protocol in §3–§4.
+    """
+
+    # -- scheduling / work stealing (§3.3, §4 scheduling manager)
+    HELP_REQUEST = 10          # idle site asks another site for work
+    HELP_REPLY = 11            # an executable/ready frame, if one was spared
+    CANT_HELP = 12             # "my queues are empty, too"
+
+    # -- code distribution (§3.4, §4 code manager)
+    CODE_REQUEST = 20          # need microthread (thread id, platform id)
+    CODE_REPLY_BINARY = 21     # platform-matching binary
+    CODE_REPLY_SOURCE = 22     # source only; requester compiles on the fly
+    CODE_PUSH_BINARY = 23      # freshly compiled binary -> distribution site
+    CODE_NOT_FOUND = 24
+
+    # -- attraction memory / COMA (§4 attraction memory)
+    APPLY_RESULT = 30          # write a parameter into a waiting microframe
+    MEM_READ = 31              # request a memory object's value
+    MEM_READ_REPLY = 32
+    MEM_WRITE = 33             # update a memory object
+    MEM_MIGRATE = 34           # move object ownership to requester
+    MEM_OBJECT = 35            # object transfer (migration payload)
+    MEM_LOCATION = 36          # homesite redirect: "object now lives at X"
+    MEM_HOME_UPDATE = 37       # current owner informs homesite directory
+    FRAME_TRANSFER = 38        # a microframe migrates (help reply / relocation)
+    MEM_NOT_FOUND = 39
+
+    # -- cluster membership (§3.4, §4 cluster manager)
+    SIGN_ON = 50               # join request to a known site
+    SIGN_ON_ACK = 51           # logical id + cluster info in return
+    SIGN_OFF = 52              # orderly leave announcement
+    CLUSTER_INFO = 53          # gossip: site records piggybacked
+    HEARTBEAT = 54
+    ID_BLOCK_REQUEST = 55      # contingent strategy: ask for an id block
+    ID_BLOCK_REPLY = 56
+    LOAD_REPORT = 57           # statistical load data for help targeting
+
+    # -- program management (§4 program manager)
+    PROGRAM_REGISTER = 60      # announce a program + its code home site
+    PROGRAM_TERMINATED = 61    # microthreads may be dropped from caches
+    PROGRAM_RESULT = 62        # final result routed to the frontend site
+
+    # -- input/output (§4 I/O manager)
+    IO_OUTPUT = 70             # console output -> frontend
+    IO_FILE_OPEN = 71
+    IO_FILE_OPEN_REPLY = 72
+    IO_FILE_READ = 73
+    IO_FILE_READ_REPLY = 74
+    IO_FILE_WRITE = 75
+    IO_FILE_WRITE_ACK = 76
+    IO_FILE_CLOSE = 77
+
+    # -- crash management (§2.2, ref [4])
+    CHECKPOINT_BEGIN = 80      # coordinator starts a checkpoint wave
+    CHECKPOINT_STATE = 81      # a site's serialized snapshot -> keeper
+    CHECKPOINT_ACK = 82
+    CHECKPOINT_COMMIT = 83     # wave complete; snapshot becomes "last good"
+    CRASH_NOTICE = 84          # heartbeat timeout observed for a site
+    RECOVER_BEGIN = 85         # coordinator starts rollback
+    RECOVER_STATE = 86         # snapshot shard restored onto a survivor
+    RECOVER_DONE = 87
+
+    # -- security (§4 security manager)
+    KEY_EXCHANGE_INIT = 90
+    KEY_EXCHANGE_REPLY = 91
+
+    # -- site maintenance (§4 site manager)
+    STATUS_QUERY = 95
+    STATUS_REPLY = 96
+    SHUTDOWN = 97
+
+
+@dataclass(slots=True)
+class SDMessage:
+    """One manager-to-manager message.
+
+    ``payload`` must contain only codec-serializable values (see
+    :mod:`repro.serde.codec`); this is enforced at encode time.
+    ``seq`` is assigned by the sending message manager; ``reply_to``
+    correlates request/response pairs.
+    """
+
+    type: MsgType
+    src_site: int
+    src_manager: ManagerId
+    dst_site: int
+    dst_manager: ManagerId
+    payload: Dict[str, Any] = field(default_factory=dict)
+    program: int = -1
+    seq: int = -1
+    reply_to: int = -1
+    #: sender's load figure, piggybacked on every message so cluster
+    #: managers keep fresh "statistical data about e. g. the other sites'
+    #: load" (§4) without dedicated traffic.  -1 = not supplied.
+    src_load: float = -1.0
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes (header tuple + payload dict)."""
+        return dumps((
+            int(self.type),
+            self.src_site,
+            int(self.src_manager),
+            self.dst_site,
+            int(self.dst_manager),
+            self.program,
+            self.seq,
+            self.reply_to,
+            self.src_load,
+            self.payload,
+        ))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SDMessage":
+        obj = loads(data)
+        if not isinstance(obj, tuple) or len(obj) != 10:
+            raise SerializationError("malformed SDMessage envelope")
+        (mtype, src_site, src_mgr, dst_site, dst_mgr,
+         program, seq, reply_to, src_load, payload) = obj
+        try:
+            msg_type = MsgType(mtype)
+            src_manager = ManagerId(src_mgr)
+            dst_manager = ManagerId(dst_mgr)
+        except ValueError as exc:
+            raise SerializationError(f"unknown enum value on wire: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SerializationError("SDMessage payload must be a dict")
+        return cls(
+            type=msg_type,
+            src_site=src_site,
+            src_manager=src_manager,
+            dst_site=dst_site,
+            dst_manager=dst_manager,
+            payload=payload,
+            program=program,
+            seq=seq,
+            reply_to=reply_to,
+            src_load=src_load,
+        )
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes — drives the simulated bandwidth model."""
+        return len(self.encode())
+
+    def __repr__(self) -> str:
+        return (f"SDMessage({self.type.name} {self.src_site}/"
+                f"{self.src_manager.name} -> {self.dst_site}/"
+                f"{self.dst_manager.name} seq={self.seq})")
+
+
+def make_reply(request: SDMessage, msg_type: MsgType,
+               payload: Optional[Dict[str, Any]] = None) -> SDMessage:
+    """Build a response addressed back at the requesting manager."""
+    return SDMessage(
+        type=msg_type,
+        src_site=request.dst_site,
+        src_manager=request.dst_manager,
+        dst_site=request.src_site,
+        dst_manager=request.src_manager,
+        payload=payload or {},
+        program=request.program,
+        reply_to=request.seq,
+    )

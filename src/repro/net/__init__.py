@@ -1,0 +1,32 @@
+"""Network substrate for the SDVM.
+
+The paper's network manager "represents the lowest layer of the SDVM,
+working with physical (ip) addresses only" (§4).  This package provides that
+layer in three interchangeable forms:
+
+* :class:`~repro.net.simnet.SimNetwork` — a simulated network over an
+  arbitrary :class:`~repro.net.topology.Topology` with per-link latency,
+  bandwidth, and a transport cost model covering the paper's TCP / T-TCP /
+  UDP discussion (§4): TCP pays per-connection handshake overhead, T/TCP
+  sends single-packet transactions, UDP loses and reorders messages.
+* :class:`~repro.net.tcp.TcpTransport` — real TCP sockets with
+  length-prefixed framing and a connection cache, for the live runtime.
+* :class:`~repro.net.inproc.InProcTransport` — queue-based loopback between
+  site threads in one process, for fast live-runtime tests.
+"""
+
+from repro.net.base import Transport, DeliveryCallback
+from repro.net.topology import Topology
+from repro.net.simnet import SimNetwork
+from repro.net.inproc import InProcHub, InProcTransport
+from repro.net.tcp import TcpTransport
+
+__all__ = [
+    "Transport",
+    "DeliveryCallback",
+    "Topology",
+    "SimNetwork",
+    "InProcHub",
+    "InProcTransport",
+    "TcpTransport",
+]

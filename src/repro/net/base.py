@@ -1,0 +1,36 @@
+"""Transport abstraction shared by the sim and live kernels.
+
+A *physical address* is deliberately opaque to everything above the network
+manager: the sim uses small integers, the live TCP transport uses
+``(host, port)`` tuples encoded as strings.  Managers only ever see logical
+site ids; the cluster manager maps logical to physical (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+#: called with the raw frame payload when a message arrives
+DeliveryCallback = Callable[[bytes], None]
+
+
+class Transport(Protocol):
+    """Minimal contract the network manager needs."""
+
+    def send(self, dst: str, data: bytes) -> bool:
+        """Transmit ``data`` to physical address ``dst``.
+
+        Returns False if the transport knows delivery failed immediately
+        (unknown address, closed endpoint).  An unreliable transport may
+        return True and still lose the message — exactly the UDP behaviour
+        the paper found "not viable" (§4).
+        """
+        ...
+
+    def local_address(self) -> str:
+        """This endpoint's physical address."""
+        ...
+
+    def close(self) -> None:
+        """Tear the endpoint down; afterwards sends to it fail."""
+        ...

@@ -1,0 +1,135 @@
+"""Real TCP transport for the live runtime.
+
+Mirrors the paper's network manager (§4): "To receive, it features a
+listener, which spawns a new thread every time an incoming connection is
+established."  Outgoing connections are cached and reused (the paper's
+observation that TCP "needs a lot of communication to establish and end a
+connection" is exactly why), and messages are delimited with the
+length-prefixed framing from :mod:`repro.serde.framing`.
+
+Physical addresses are ``"host:port"`` strings.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.errors import AddressError
+from repro.serde.framing import FrameDecoder, frame
+
+
+def _parse(addr: str) -> Tuple[str, int]:
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise AddressError(f"bad physical address {addr!r}, want host:port")
+    return host, int(port)
+
+
+class TcpTransport:
+    """Listener + cached outgoing connections, one reader thread per peer."""
+
+    def __init__(self, receiver: Callable[[bytes], None],
+                 host: str = "127.0.0.1", port: int = 0,
+                 connect_timeout: float = 5.0) -> None:
+        self._receiver = receiver
+        self._connect_timeout = connect_timeout
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._addr = f"{host}:{self._listener.getsockname()[1]}"
+        self._out: Dict[str, socket.socket] = {}
+        self._out_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"sdvm-accept-{self._addr}",
+            daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    def local_address(self) -> str:
+        return self._addr
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(target=self._read_loop, args=(conn,),
+                             name=f"sdvm-read-{self._addr}",
+                             daemon=True).start()
+
+    def _read_loop(self, conn: socket.socket) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self._closed.is_set():
+                data = conn.recv(65536)
+                if not data:
+                    return
+                for payload in decoder.feed(data):
+                    self._receiver(payload)
+        except OSError:
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _connection(self, dst: str) -> Optional[socket.socket]:
+        with self._out_lock:
+            sock = self._out.get(dst)
+            if sock is not None:
+                return sock
+        host, port = _parse(dst)
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=self._connect_timeout)
+            sock.settimeout(None)
+        except OSError:
+            return None
+        with self._out_lock:
+            existing = self._out.get(dst)
+            if existing is not None:
+                sock.close()
+                return existing
+            self._out[dst] = sock
+        return sock
+
+    def send(self, dst: str, data: bytes) -> bool:
+        if self._closed.is_set():
+            return False
+        sock = self._connection(dst)
+        if sock is None:
+            return False
+        try:
+            sock.sendall(frame(data))
+            return True
+        except OSError:
+            # peer went away; drop the cached connection, report failure
+            with self._out_lock:
+                if self._out.get(dst) is sock:
+                    del self._out[dst]
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return False
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._out_lock:
+            for sock in self._out.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._out.clear()

@@ -1,0 +1,17 @@
+"""Processing manager — microthread execution with latency hiding (§4).
+
+"When a microthread has to wait for data due to an access to the memory,
+the processing manager can hide the latency by switching to another
+microthread run in parallel. ... Tests showed that a number of about 5
+microthreads run in (virtual) parallel produce good results."
+
+:class:`~repro.proc.sim_manager.SimProcessingManager` models exactly that:
+up to ``max_parallel`` in-flight executions whose memory-wait phases release
+the modelled CPU; a context-switch cost is charged whenever executions
+interleave.
+"""
+
+from repro.proc.sim_manager import SimProcessingManager
+from repro.proc.sim_context import SimExecutionContext
+
+__all__ = ["SimProcessingManager", "SimExecutionContext"]

@@ -1,0 +1,65 @@
+"""Execution context for the simulation kernel.
+
+Side effects are buffered and dispatched at the execution's simulated
+completion time (§3.2: extract -> calculate -> create frames -> send
+results).  Memory reads resolve immediately against the shared object
+directory but charge the modelled round-trip as *wait time*, which the
+processing manager overlaps with other executions (latency hiding).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.common.ids import FileHandle, GlobalAddress
+from repro.core.context import Effect, ExecutionContext
+from repro.core.frames import Microframe
+
+
+class SimExecutionContext(ExecutionContext):
+    def __init__(self, frame: Microframe, site,  # noqa: ANN001
+                 thread_table: Dict[str, Tuple[int, int]]) -> None:
+        super().__init__(frame, thread_table, site.site_id,
+                         site.kernel.now, seed=site.config.seed)
+        self._site = site
+        self.effects: List[Effect] = []
+        #: modelled seconds spent waiting on remote memory / files
+        self.wait_time = 0.0
+
+    # ------------------------------------------------------------------
+    def _emit(self, effect: Effect) -> None:
+        self.effects.append(effect)
+
+    def _op_alloc_frame_address(self) -> GlobalAddress:
+        return self._site.attraction_memory.alloc_address()
+
+    def _op_malloc(self, value: Any) -> GlobalAddress:
+        return self._site.attraction_memory.alloc_object(value)
+
+    def _op_read(self, address: GlobalAddress) -> Any:
+        value, latency = self._site.attraction_memory.sim_read(address)
+        self.wait_time += latency
+        return value
+
+    # -- files (cluster-wide VFS; remote handles charge a round trip) ----
+    def _op_file_open(self, path: str, mode: str) -> FileHandle:
+        handle, latency = self._site.io_manager.sim_open(path, mode)
+        self.wait_time += latency
+        return handle
+
+    def _op_file_read(self, handle: FileHandle, size: int) -> bytes:
+        data, latency = self._site.io_manager.sim_read(handle, size)
+        self.wait_time += latency
+        return data
+
+    def _op_file_write(self, handle: FileHandle, data: bytes) -> int:
+        written, latency = self._site.io_manager.sim_write(handle, data)
+        self.wait_time += latency
+        return written
+
+    def _op_file_seek(self, handle: FileHandle, offset: int) -> None:
+        latency = self._site.io_manager.sim_seek(handle, offset)
+        self.wait_time += latency
+
+    def _op_file_close(self, handle: FileHandle) -> None:
+        self._site.io_manager.sim_close(handle)

@@ -1,0 +1,184 @@
+"""The simulated processing manager.
+
+Execution timeline for one microframe (see DESIGN.md, "Sim execution
+semantics"):
+
+1. the microthread function runs *now* (real Python, instantaneous in
+   virtual time), producing: charged work W, accumulated memory wait T_w,
+   and a buffered effect list;
+2. the site waits T_w with the CPU *free* (this is what latency hiding
+   overlaps — other in-flight frames compute meanwhile);
+3. the CPU is occupied for W/speed seconds (FCFS with everything else on
+   this site);
+4. at completion the effects dispatch: frames register, results travel,
+   output flows, the frame is consumed.
+
+A context-switch cost is charged whenever more than one execution is in
+flight, so very large ``max_parallel`` degrades — reproducing the paper's
+"about 5" sweet spot (benchmarks/bench_latency_hiding.py).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional
+
+from repro.common.ids import ManagerId
+from repro.core.frames import Microframe
+from repro.core.threads import CompiledMicrothread
+from repro.proc.sim_context import SimExecutionContext
+from repro.site.manager_base import Manager
+
+
+class SimProcessingManager(Manager):
+    manager_id = ManagerId.PROCESSING
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self.in_flight = 0
+        #: executions currently in their memory-wait phase
+        self.waiting = 0
+        self._outstanding_requests = 0
+        #: total work units executed (for accounting / benchmarks)
+        self.work_done = 0.0
+
+    @property
+    def max_parallel(self) -> int:
+        return self.site.site_config.max_parallel
+
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Request work under the paper's admission discipline.
+
+        Up to ``max_parallel`` microthreads may be in flight (§4: "about 5
+        ... in (virtual) parallel"), but a new one is *pulled* only when
+        every current one is waiting on memory — the switch happens "when a
+        microthread has to wait for data due to an access to the memory".
+        Pulling eagerly would hoard stealable frames in the local slots;
+        the paper warns the parallel degree "should leave enough work for
+        other sites".  (Critical-path frames bypass this via the
+        overcommit slot — see :meth:`can_overcommit`.)
+        """
+        if self.site.paused:
+            return
+        while (self.in_flight + self._outstanding_requests < self.max_parallel
+               and (self.in_flight - self.waiting
+                    + self._outstanding_requests) < 1):
+            self._outstanding_requests += 1
+            self.site.scheduling_manager.pm_request_work()
+
+    def can_overcommit(self) -> bool:
+        """One extra slot exists for critical-path microframes (§3.3
+        scheduling hints: "hints about the local execution order")."""
+        return self.in_flight < self.max_parallel + 1
+
+    def on_start(self) -> None:
+        self.kick()
+
+    def receive_work(self, frame: Microframe,
+                     compiled: CompiledMicrothread,
+                     requested: bool = True) -> None:
+        """The scheduling manager delivers a (microframe, microthread) pair.
+
+        ``requested=False`` marks an unsolicited critical-path overcommit
+        delivery (it does not consume an outstanding work request).
+        """
+        if requested:
+            self._outstanding_requests = max(0, self._outstanding_requests - 1)
+        if not self.site.program_manager.is_active(frame.program):
+            self.stats.inc("stale_work_dropped")
+            self.kick()
+            return
+        self.site.site_manager.note_activity()
+        self.in_flight += 1
+        self.site.journal_event("exec_start", thread=compiled.name,
+                                frame=frame.frame_id.pack())
+        self._execute(frame, compiled)
+
+    # ------------------------------------------------------------------
+    def _execute(self, frame: Microframe,
+                 compiled: CompiledMicrothread) -> None:
+        info = self.site.program_manager.get(frame.program)
+        ctx = SimExecutionContext(frame, self.site, info.thread_table())
+        try:
+            compiled.entry(ctx, *frame.arguments())
+        except Exception:  # noqa: BLE001 — user code may raise anything
+            self.stats.inc("microthread_errors")
+            failure = traceback.format_exc(limit=3)
+            self.log("microthread %s raised:\n%s", compiled.name, failure)
+            self._finish_slot(frame)
+            self.site.program_manager.local_exit(
+                frame.program, None, failed=True, failure=failure)
+            return
+
+        compute = self.cost.work_seconds(ctx.charged_work,
+                                         self.site.site_config.speed)
+        if self.in_flight > 1:
+            # rotating among the virtually parallel microthreads: "the time
+            # needed to switch between all the microthreads should be
+            # adequately short to avoid clogging the system" (§4) — the
+            # cost scales with how many threads are co-resident
+            self.kernel.cpu_charge(self.cost.context_switch_cost
+                                   * (self.in_flight - 1))
+            self.stats.inc("context_switches")
+
+        epoch = self.site.epoch
+        if ctx.wait_time > 0.0:
+            # CPU free during the memory wait — admit another microthread to
+            # hide the latency (§4)
+            self.waiting += 1
+            self.kernel.call_later(ctx.wait_time, self._wait_over,
+                                   frame, ctx, compute, epoch)
+            self.kick()
+        else:
+            self._compute_phase(frame, ctx, compute, epoch)
+
+    def _wait_over(self, frame: Microframe, ctx: SimExecutionContext,
+                   compute: float, epoch: int) -> None:
+        self.waiting = max(0, self.waiting - 1)
+        self._compute_phase(frame, ctx, compute, epoch)
+
+    def _compute_phase(self, frame: Microframe, ctx: SimExecutionContext,
+                       compute: float, epoch: int) -> None:
+        self.kernel.cpu.run(compute, self._complete, frame, ctx, epoch,
+                            overhead=False)
+
+    def _complete(self, frame: Microframe, ctx: SimExecutionContext,
+                  epoch: int) -> None:
+        if epoch != self.site.epoch:
+            # execution straddled a recovery; its effects are rolled back
+            self.stats.inc("stale_epoch_discarded")
+            self._finish_slot(frame)
+            return
+        self.site.dispatch_effects(frame, ctx.effects)
+        frame.consume()
+        # all accounting happens at completion, in lockstep with the
+        # program manager's metering (in-flight work at shutdown is
+        # consistently unbilled)
+        self.stats.inc("executions")
+        self.stats.add("work_units", ctx.charged_work)
+        self.stats.add("wait_seconds", ctx.wait_time)
+        self.work_done += ctx.charged_work
+        self.site.journal_event("exec_end", frame=frame.frame_id.pack(),
+                                work=ctx.charged_work)
+        self.site.program_manager.record_execution(frame.program,
+                                                   ctx.charged_work)
+        self._finish_slot(frame)
+
+    def _finish_slot(self, frame: Microframe) -> None:
+        self.in_flight = max(0, self.in_flight - 1)
+        if not self.site.running:
+            return
+        self.site.site_manager.note_activity()
+        self.site.crash_manager.maybe_ack_drained()
+        self.kick()
+
+    # ------------------------------------------------------------------
+    def current_load(self) -> float:
+        return float(self.in_flight)
+
+    def status(self) -> dict:
+        base = super().status()
+        base["in_flight"] = self.in_flight
+        base["work_done"] = self.work_done
+        return base

@@ -1,0 +1,10 @@
+"""Program management (paper §4, program manager).
+
+"If the SDVM runs more than one program at the same time, the programs must
+be distinguished.  The program manager maintains a list of all programs the
+local site currently works on."
+"""
+
+from repro.program.manager import ProgramManager, ProgramInfo
+
+__all__ = ["ProgramManager", "ProgramInfo"]

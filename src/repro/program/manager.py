@@ -1,0 +1,241 @@
+"""The program manager: multi-program bookkeeping, termination, accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ProgramError
+from repro.common.ids import ManagerId
+from repro.core.program import SDVMProgram
+from repro.messages import MsgType, SDMessage
+from repro.site.manager_base import Manager
+
+
+@dataclass(slots=True)
+class ProgramInfo:
+    """What one site knows about one program.
+
+    ``code_home`` is "a code home site to request microthread code from if
+    it is not found locally" (§4); ``frontend`` is the site user I/O is
+    routed to (§2.1 goal 15).
+    """
+
+    pid: int
+    name: str
+    entry: str
+    code_home: int
+    frontend: int
+    #: thread name -> (thread_id, nparams, work_hint, creates)
+    threads: Dict[str, Tuple[int, int, float, tuple]]
+    terminated: bool = False
+    result: Any = None
+    failed: bool = False
+    failure: str = ""
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: local accounting (goal 14): executions run / work charged here
+    executions: int = 0
+    work_charged: float = 0.0
+
+    def thread_table(self) -> Dict[str, Tuple[int, int]]:
+        return {name: (tid, nparams)
+                for name, (tid, nparams, _w, _c) in self.threads.items()}
+
+    def to_wire(self) -> dict:
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "entry": self.entry,
+            "code_home": self.code_home,
+            "frontend": self.frontend,
+            "threads": [(name, tid, nparams, work, tuple(creates))
+                        for name, (tid, nparams, work, creates)
+                        in self.threads.items()],
+            "terminated": self.terminated,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ProgramInfo":
+        return cls(
+            pid=data["pid"],
+            name=data["name"],
+            entry=data["entry"],
+            code_home=data["code_home"],
+            frontend=data["frontend"],
+            threads={name: (tid, nparams, work, tuple(creates))
+                     for name, tid, nparams, work, creates in data["threads"]},
+            terminated=data.get("terminated", False),
+        )
+
+
+class ProgramManager(Manager):
+    manager_id = ManagerId.PROGRAM
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self.programs: Dict[int, ProgramInfo] = {}
+        #: facade hooks fired at the frontend site: fn(pid, info)
+        self.on_program_done: List[Callable[[int, ProgramInfo], None]] = []
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def register_local(self, program: SDVMProgram, pid: int) -> ProgramInfo:
+        """Register a program started on this site (code home + frontend)."""
+        if pid in self.programs:
+            raise ProgramError(f"program id {pid} already registered")
+        bound = program.with_program_id(pid)
+        info = ProgramInfo(
+            pid=pid,
+            name=bound.name,
+            entry=bound.entry,
+            code_home=self.local_id,
+            frontend=self.local_id,
+            threads={name: (src.thread_id, src.nparams, src.work_hint,
+                            tuple(src.creates))
+                     for name, src in bound.threads.items()},
+            started_at=self.kernel.now,
+        )
+        self.programs[pid] = info
+        # the starting site is implicitly a code distribution site (§4)
+        for src in bound.threads.values():
+            self.site.code_manager.store_source(src)
+        self._broadcast_registration(info)
+        return info
+
+    def _broadcast_registration(self, info: ProgramInfo) -> None:
+        for peer in self.site.cluster_manager.alive_peers():
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.PROGRAM_REGISTER,
+                src_site=self.local_id, src_manager=ManagerId.PROGRAM,
+                dst_site=peer.logical, dst_manager=ManagerId.PROGRAM,
+                program=info.pid,
+                payload={"info": info.to_wire()},
+            ))
+
+    def learn_program_wire(self, wire: dict) -> ProgramInfo:
+        """Adopt program knowledge from any message carrying it ("the list
+        is updated with every access to another site resulting in a
+        microframe belonging to a new program", §4)."""
+        info = ProgramInfo.from_wire(wire)
+        existing = self.programs.get(info.pid)
+        if existing is None:
+            self.programs[info.pid] = info
+            return info
+        if info.terminated:
+            existing.terminated = True
+        return existing
+
+    def known_programs_wire(self) -> list:
+        return [info.to_wire() for info in self.programs.values()]
+
+    def learn_programs_wire(self, wires: list) -> None:
+        for wire in wires:
+            self.learn_program_wire(wire)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def get(self, pid: int) -> ProgramInfo:
+        info = self.programs.get(pid)
+        if info is None:
+            raise ProgramError(f"unknown program id {pid} on site "
+                               f"{self.local_id}")
+        return info
+
+    def knows(self, pid: int) -> bool:
+        return pid in self.programs
+
+    def is_active(self, pid: int) -> bool:
+        info = self.programs.get(pid)
+        return info is not None and not info.terminated
+
+    def has_active_programs(self) -> bool:
+        return any(not info.terminated for info in self.programs.values())
+
+    def record_execution(self, pid: int, work: float) -> None:
+        info = self.programs.get(pid)
+        if info is not None:
+            info.executions += 1
+            info.work_charged += work
+
+    # ------------------------------------------------------------------
+    # termination
+
+    def local_exit(self, pid: int, result: Any, failed: bool = False,
+                   failure: str = "") -> None:
+        """A microthread on this site called exit_program (or raised)."""
+        info = self.programs.get(pid)
+        if info is None or info.terminated:
+            return
+        self._terminate(info)
+        info.result = result
+        info.failed = failed
+        info.failure = failure
+        for peer in self.site.cluster_manager.alive_peers():
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.PROGRAM_TERMINATED,
+                src_site=self.local_id, src_manager=ManagerId.PROGRAM,
+                dst_site=peer.logical, dst_manager=ManagerId.PROGRAM,
+                program=pid,
+                payload={"pid": pid},
+            ))
+        if info.frontend == self.local_id:
+            self._finish(info)
+        else:
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.PROGRAM_RESULT,
+                src_site=self.local_id, src_manager=ManagerId.PROGRAM,
+                dst_site=info.frontend, dst_manager=ManagerId.PROGRAM,
+                program=pid,
+                payload={"pid": pid, "result": result,
+                         "failed": failed, "failure": failure},
+            ))
+
+    def _terminate(self, info: ProgramInfo) -> None:
+        info.terminated = True
+        info.finished_at = self.kernel.now
+        # "its microthreads can safely be deleted from memory" (§4)
+        self.site.scheduling_manager.drop_program(info.pid)
+        self.site.attraction_memory.drop_program(info.pid)
+        self.site.code_manager.drop_program(info.pid)
+
+    def _finish(self, info: ProgramInfo) -> None:
+        for callback in self.on_program_done:
+            callback(info.pid, info)
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: SDMessage) -> None:
+        if msg.type == MsgType.PROGRAM_REGISTER:
+            info = self.learn_program_wire(msg.payload["info"])
+            if not info.terminated:
+                # a new program means new work somewhere: wake the
+                # (possibly dormant) scheduler to go steal some
+                self.site.scheduling_manager.kick()
+        elif msg.type == MsgType.PROGRAM_TERMINATED:
+            info = self.programs.get(msg.payload["pid"])
+            if info is not None and not info.terminated:
+                self._terminate(info)
+        elif msg.type == MsgType.PROGRAM_RESULT:
+            info = self.programs.get(msg.payload["pid"])
+            if info is None:
+                return
+            if not info.terminated:
+                self._terminate(info)
+            info.result = msg.payload.get("result")
+            info.failed = msg.payload.get("failed", False)
+            info.failure = msg.payload.get("failure", "")
+            self._finish(info)
+        else:
+            super().handle(msg)
+
+    def status(self) -> dict:
+        base = super().status()
+        base["programs"] = {
+            info.name: {"terminated": info.terminated,
+                        "executions": info.executions,
+                        "work": info.work_charged}
+            for info in self.programs.values()
+        }
+        return base

@@ -1,0 +1,194 @@
+"""LiveCluster — run a real SDVM cluster with threads and (optionally) TCP.
+
+Each site runs the exact same manager stack as the simulation, but on a
+:class:`~repro.runtime.live_kernel.LiveKernel`: reactor thread, worker
+threads for microthreads, real wall-clock timers, and either in-process
+queue transport or real loopback TCP sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.common.config import SDVMConfig, SiteConfig
+from repro.common.errors import SDVMError
+from repro.core.program import SDVMProgram
+from repro.net.inproc import InProcHub, InProcTransport
+from repro.net.tcp import TcpTransport
+from repro.program.manager import ProgramInfo
+from repro.runtime.live_kernel import LiveKernel
+from repro.site.daemon import SDVMSite
+
+#: default seconds to wait for cluster formation / program completion
+JOIN_TIMEOUT = 10.0
+
+
+@dataclass
+class LiveHandle:
+    """Tracks one submitted program on a live cluster."""
+
+    program: SDVMProgram
+    pid: int = -1
+    result: Any = None
+    failed: bool = False
+    failure: str = ""
+    _event: threading.Event = field(default_factory=threading.Event)
+    _frontend: Optional[SDVMSite] = None
+
+    def wait(self, timeout: float = JOIN_TIMEOUT) -> Any:
+        """Block until the program's result reaches the frontend."""
+        if not self._event.wait(timeout):
+            raise SDVMError(
+                f"program {self.program.name!r} did not finish within "
+                f"{timeout}s")
+        if self.failed:
+            raise SDVMError(
+                f"program {self.program.name!r} failed: {self.failure}")
+        return self.result
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def output(self) -> List[str]:
+        if self._frontend is None:
+            return []
+        kernel: LiveKernel = self._frontend.kernel  # type: ignore[assignment]
+        return kernel.reactor_call(
+            lambda: self._frontend.io_manager.output_lines(self.pid))
+
+
+class LiveCluster:
+    """Build and drive an in-process live cluster.
+
+    ``transport='inproc'`` wires sites with queue loopback (fast, used by
+    tests); ``transport='tcp'`` gives every site a real listening socket on
+    127.0.0.1 and messages travel through the kernel's TCP stack.
+    """
+
+    def __init__(self, nsites: int = 2,
+                 config: Optional[SDVMConfig] = None,
+                 site_configs: Optional[Sequence[SiteConfig]] = None,
+                 transport: str = "inproc") -> None:
+        self.config = config or SDVMConfig()
+        self._hub = InProcHub() if transport == "inproc" else None
+        self.sites: List[SDVMSite] = []
+        self.handles: List[LiveHandle] = []
+
+        configs = (list(site_configs) if site_configs is not None
+                   else [SiteConfig(name=f"site{i}") for i in range(nsites)])
+        for index, site_config in enumerate(configs):
+            self.sites.append(self._build_site(index, site_config,
+                                               transport))
+        first = self.sites[0]
+        first.kernel.reactor_call(first.bootstrap)  # type: ignore[attr-defined]
+        bootstrap_addr = first.kernel.local_physical()
+        for site in self.sites[1:]:
+            site.kernel.reactor_call(  # type: ignore[attr-defined]
+                lambda s=site: s.join(bootstrap_addr))
+        self._wait_formed()
+
+    def _build_site(self, index: int, site_config: SiteConfig,
+                    transport: str) -> SDVMSite:
+        if transport == "inproc":
+            def make_transport(receiver, index=index):  # noqa: ANN001
+                return InProcTransport(self._hub, f"site-{index}", receiver)
+        elif transport == "tcp":
+            def make_transport(receiver):  # noqa: ANN001
+                return TcpTransport(receiver)
+        else:
+            raise SDVMError(f"unknown transport {transport!r}")
+        kernel = LiveKernel(make_transport, seed=self.config.seed,
+                            name=f"{site_config.name or index}")
+        return SDVMSite(kernel, self.config, site_config)
+
+    def _wait_formed(self, timeout: float = JOIN_TIMEOUT) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(site.running for site in self.sites):
+                return
+            time.sleep(0.005)
+        raise SDVMError("cluster did not form in time")
+
+    # ------------------------------------------------------------------
+    def add_site(self, site_config: Optional[SiteConfig] = None,
+                 transport: str = "inproc") -> SDVMSite:
+        """Sign a new site on at runtime (§3.4)."""
+        site = self._build_site(len(self.sites),
+                                site_config or SiteConfig(
+                                    name=f"site{len(self.sites)}"),
+                                transport)
+        self.sites.append(site)
+        bootstrap_addr = self.sites[0].kernel.local_physical()
+        site.kernel.reactor_call(  # type: ignore[attr-defined]
+            lambda: site.join(bootstrap_addr))
+        deadline = time.monotonic() + JOIN_TIMEOUT
+        while time.monotonic() < deadline:
+            if site.running:
+                return site
+            time.sleep(0.005)
+        raise SDVMError("new site did not join in time")
+
+    def submit(self, program: SDVMProgram, args: tuple = (),
+               site_index: int = 0) -> LiveHandle:
+        site = self.sites[site_index]
+        handle = LiveHandle(program=program, _frontend=site)
+        self.handles.append(handle)
+        kernel: LiveKernel = site.kernel  # type: ignore[assignment]
+
+        def do_submit() -> int:
+            pid = site.submit_program(program, args)
+
+            def on_done(done_pid: int, info: ProgramInfo) -> None:
+                if done_pid != pid:
+                    return
+                handle.result = info.result
+                handle.failed = info.failed
+                handle.failure = info.failure
+                handle._event.set()
+
+            site.program_manager.on_program_done.append(on_done)
+            return pid
+
+        handle.pid = kernel.reactor_call(do_submit)
+        return handle
+
+    def run(self, program: SDVMProgram, args: tuple = (),
+            timeout: float = JOIN_TIMEOUT) -> Any:
+        """Submit, wait, and return the result (convenience)."""
+        return self.submit(program, args).wait(timeout)
+
+    # ------------------------------------------------------------------
+    def sign_off_site(self, index: int,
+                      timeout: float = JOIN_TIMEOUT) -> None:
+        """Orderly departure of one site, blocking until it has stopped."""
+        site = self.sites[index]
+        site.kernel.reactor_call(site.sign_off)  # type: ignore[attr-defined]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if site.stopped:
+                return
+            time.sleep(0.005)
+        raise SDVMError(f"site {index} did not finish signing off")
+
+    def crash_site(self, index: int) -> None:
+        self.sites[index].crash()
+
+    def shutdown(self) -> None:
+        """Stop every site (reverse order so heirs outlive leavers)."""
+        for site in reversed(self.sites):
+            if site.stopped:
+                continue
+            try:
+                site.kernel.reactor_call(site.stop, timeout=2.0)  # type: ignore[attr-defined]
+            except SDVMError:
+                site.crash()
+
+    def __enter__(self) -> "LiveCluster":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

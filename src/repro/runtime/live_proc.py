@@ -1,0 +1,189 @@
+"""Live processing manager + blocking execution context.
+
+Microthreads run on real worker threads; every interaction with manager
+state happens via the site's reactor.  Side effects are buffered and
+dispatched at completion on the reactor (same semantics as the sim kernel);
+global-memory reads are real blocking round trips through the attraction
+memory's message protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import MemoryFault, ProgramError, SDVMError
+from repro.common.ids import FileHandle, GlobalAddress, ManagerId
+from repro.core.context import Effect, ExecutionContext
+from repro.core.frames import Microframe
+from repro.core.threads import CompiledMicrothread
+from repro.site.manager_base import Manager
+
+#: how long a blocking context operation may wait for the cluster
+OP_TIMEOUT = 10.0
+
+
+class LiveExecutionContext(ExecutionContext):
+    """Blocking context used by worker threads under the live kernel."""
+
+    def __init__(self, frame: Microframe, site,  # noqa: ANN001
+                 thread_table: Dict[str, Tuple[int, int]]) -> None:
+        super().__init__(frame, thread_table, site.site_id,
+                         site.kernel.now, seed=site.config.seed)
+        self._site = site
+        self.effects: list = []
+        self.wait_time = 0.0
+
+    def _emit(self, effect: Effect) -> None:
+        self.effects.append(effect)
+
+    # -- blocking plumbing ------------------------------------------------
+    def _await(self, starter: Callable[[Callable[..., None]], None]) -> Any:
+        """Run ``starter(cb)`` on the reactor; block until cb fires."""
+        done = threading.Event()
+        box: list = [None, None]
+
+        def cb(value: Any = None, error: Optional[Exception] = None) -> None:
+            box[0] = value
+            box[1] = error
+            done.set()
+
+        started = self._site.kernel.now
+        self._site.kernel.post(starter, cb)
+        if not done.wait(OP_TIMEOUT):
+            raise MemoryFault("context operation timed out")
+        self.wait_time += self._site.kernel.now - started
+        if box[1] is not None:
+            raise box[1]
+        return box[0]
+
+    # -- primitives --------------------------------------------------------
+    def _op_alloc_frame_address(self) -> GlobalAddress:
+        return self._site.kernel.reactor_call(
+            self._site.attraction_memory.alloc_address)
+
+    def _op_malloc(self, value: Any) -> GlobalAddress:
+        return self._site.kernel.reactor_call(
+            lambda: self._site.attraction_memory.alloc_object(value))
+
+    def _op_read(self, address: GlobalAddress) -> Any:
+        return self._await(
+            lambda cb: self._site.attraction_memory.live_read(address, cb))
+
+    def _op_file_open(self, path: str, mode: str) -> FileHandle:
+        return self._await(
+            lambda cb: self._site.io_manager.live_open(path, mode, cb))
+
+    def _op_file_read(self, handle: FileHandle, size: int) -> bytes:
+        return self._await(
+            lambda cb: self._site.io_manager.live_read(handle, size, cb))
+
+    def _op_file_write(self, handle: FileHandle, data: bytes) -> int:
+        return self._await(
+            lambda cb: self._site.io_manager.live_write(handle, data, cb))
+
+    def _op_file_seek(self, handle: FileHandle, offset: int) -> None:
+        self._await(
+            lambda cb: self._site.io_manager.live_seek(handle, offset, cb))
+
+    def _op_file_close(self, handle: FileHandle) -> None:
+        self._await(
+            lambda cb: self._site.io_manager.live_close(handle, cb))
+
+
+class LiveProcessingManager(Manager):
+    manager_id = ManagerId.PROCESSING
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        self.in_flight = 0
+        self.waiting = 0  # parity with the sim manager's interface
+        self._outstanding_requests = 0
+        self.work_done = 0.0
+
+    @property
+    def max_parallel(self) -> int:
+        return self.site.site_config.max_parallel
+
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        if self.site.paused:
+            return
+        while (self.in_flight + self._outstanding_requests
+               < self.max_parallel):
+            self._outstanding_requests += 1
+            self.site.scheduling_manager.pm_request_work()
+
+    def can_overcommit(self) -> bool:
+        return self.in_flight < self.max_parallel + 1
+
+    def on_start(self) -> None:
+        self.kick()
+
+    def receive_work(self, frame: Microframe,
+                     compiled: CompiledMicrothread,
+                     requested: bool = True) -> None:
+        if requested:
+            self._outstanding_requests = max(
+                0, self._outstanding_requests - 1)
+        if not self.site.program_manager.is_active(frame.program):
+            self.stats.inc("stale_work_dropped")
+            self.kick()
+            return
+        self.in_flight += 1
+        info = self.site.program_manager.get(frame.program)
+        ctx = LiveExecutionContext(frame, self.site, info.thread_table())
+        epoch = self.site.epoch
+        worker = threading.Thread(
+            target=self._worker, args=(frame, compiled, ctx, epoch),
+            name=f"sdvm-exec-{self.local_id}", daemon=True)
+        worker.start()
+
+    # -- worker thread ------------------------------------------------------
+    def _worker(self, frame: Microframe, compiled: CompiledMicrothread,
+                ctx: LiveExecutionContext, epoch: int) -> None:
+        error: Optional[str] = None
+        try:
+            compiled.entry(ctx, *frame.arguments())
+        except Exception:  # noqa: BLE001 — user code
+            error = traceback.format_exc(limit=3)
+        self.kernel.post(self._complete, frame, ctx, epoch, error)
+
+    # -- back on the reactor --------------------------------------------------
+    def _complete(self, frame: Microframe, ctx: LiveExecutionContext,
+                  epoch: int, error: Optional[str]) -> None:
+        if error is not None:
+            self.stats.inc("microthread_errors")
+            self.log("microthread raised:\n%s", error)
+            self._finish_slot()
+            self.site.program_manager.local_exit(
+                frame.program, None, failed=True, failure=error)
+            return
+        if epoch != self.site.epoch:
+            self.stats.inc("stale_epoch_discarded")
+            self._finish_slot()
+            return
+        self.site.dispatch_effects(frame, ctx.effects)
+        frame.consume()
+        self.stats.inc("executions")
+        self.stats.add("work_units", ctx.charged_work)
+        self.work_done += ctx.charged_work
+        self.site.program_manager.record_execution(frame.program,
+                                                   ctx.charged_work)
+        self._finish_slot()
+
+    def _finish_slot(self) -> None:
+        self.in_flight = max(0, self.in_flight - 1)
+        if not self.site.running:
+            return
+        self.site.crash_manager.maybe_ack_drained()
+        self.kick()
+
+    def current_load(self) -> float:
+        return float(self.in_flight)
+
+    def status(self) -> dict:
+        base = super().status()
+        base["in_flight"] = self.in_flight
+        return base

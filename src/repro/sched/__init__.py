@@ -1,0 +1,14 @@
+"""Distributed scheduling (paper §3.3, §4, Fig. 5).
+
+Each site schedules autonomously from local knowledge only: a queue of
+*executable* microframes (all parameters present) feeds a queue of *ready*
+microframes (code pointer fetched) which feeds the processing manager.  An
+idle site pulls work from peers with *help requests*; repliers hand out
+frames LIFO ("to hide the communication latencies") while local execution
+is FIFO ("to avoid starving of microframes").
+"""
+
+from repro.sched.manager import SchedulingManager
+from repro.sched.policies import pop_frame, take_for_help
+
+__all__ = ["SchedulingManager", "pop_frame", "take_for_help"]

@@ -1,0 +1,349 @@
+"""The scheduling manager (paper §3.3, §4, Fig. 5)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.common.ids import GlobalAddress, ManagerId
+from repro.core.frames import FrameState, Microframe
+from repro.core.threads import CompiledMicrothread
+from repro.messages import MsgType, SDMessage, make_reply
+from repro.sched.policies import pop_frame, take_for_help
+from repro.site.manager_base import Manager
+
+
+class SchedulingManager(Manager):
+    manager_id = ManagerId.SCHEDULING
+
+    def __init__(self, site) -> None:  # noqa: ANN001
+        super().__init__(site)
+        #: frames with all parameters, awaiting a code pointer
+        self.executable: Deque[Microframe] = deque()
+        #: (frame, compiled) pairs ready for the processing manager
+        self.ready: Deque[Tuple[Microframe, CompiledMicrothread]] = deque()
+        #: frames whose code fetch is in flight (kept here so they can be
+        #: relocated if the site leaves mid-fetch)
+        self._pending_code: Dict[GlobalAddress, Microframe] = {}
+        #: processing-manager slots waiting for work
+        self._pm_hungry = 0
+        #: one help request outstanding at a time
+        self._help_outstanding = False
+        self._help_backoff = 1.0
+        self._help_timer = None
+        #: peers that recently replied CANT_HELP (logical id -> until time)
+        self._cooldown: Dict[int, float] = {}
+        #: per-frame code-fetch retry budget
+        self._code_retries: Dict[GlobalAddress, int] = {}
+
+    # ------------------------------------------------------------------
+    # intake
+
+    def enqueue_executable(self, frame: Microframe) -> None:
+        """Attraction memory hands over a frame whose last parameter just
+        arrived — or a stolen/migrated frame lands here."""
+        if not self.site.program_manager.is_active(frame.program):
+            self.stats.inc("frames_dropped_terminated")
+            return
+        frame.created_at = self.kernel.now
+        self.kernel.cpu_charge(self.cost.sched_decision_cost)
+        self.executable.append(frame)
+        self.stats.inc("frames_enqueued")
+        self._fill_ready()
+
+    # ------------------------------------------------------------------
+    # executable -> ready (code fetch)
+
+    def _fill_ready(self) -> None:
+        """Prefetch code so the ready queue stays at its target depth.
+
+        Critical-path frames are always pulled through immediately (§3.3
+        hints), so they never wait behind the prefetch window.
+        """
+        cfg = self.config.scheduling
+        want = cfg.ready_target + self._pm_hungry
+        if cfg.use_hints:
+            want += sum(1 for f in self.executable if f.critical)
+        while (self.executable
+               and len(self.ready) + len(self._pending_code) < want):
+            frame = pop_frame(self.executable, cfg.local_policy,
+                              cfg.use_hints)
+            self._pending_code[frame.frame_id] = frame
+            self.site.code_manager.get(
+                frame.program, frame.thread_id,
+                lambda compiled, f=frame: self._code_arrived(f, compiled))
+
+    def _code_arrived(self, frame: Microframe,
+                      compiled: Optional[CompiledMicrothread]) -> None:
+        if self._pending_code.pop(frame.frame_id, None) is None:
+            # frame was exported (sign-off relocation) while we fetched
+            return
+        if not self.site.program_manager.is_active(frame.program):
+            self._code_retries.pop(frame.frame_id, None)
+            return
+        if compiled is None:
+            retries = self._code_retries.get(frame.frame_id, 0)
+            if retries < 3:
+                self._code_retries[frame.frame_id] = retries + 1
+                self.stats.inc("code_retries")
+                self.executable.append(frame)
+                self._fill_ready()
+                return
+            self.stats.inc("code_unavailable")
+            self.site.program_manager.local_exit(
+                frame.program, None, failed=True,
+                failure=f"code for thread {frame.thread_id} unavailable")
+            return
+        self._code_retries.pop(frame.frame_id, None)
+        frame.state = FrameState.READY
+        self.ready.append((frame, compiled))
+        self.stats.inc("frames_readied")
+        self._serve()
+        self._fill_ready()
+
+    # ------------------------------------------------------------------
+    # ready -> processing manager
+
+    def pm_request_work(self) -> None:
+        """The processing manager has a free slot (paper: "If it is idle,
+        it requests a pair of an executable microframe and its
+        corresponding microthread")."""
+        self._pm_hungry += 1
+        self._serve()
+        if self._pm_hungry:
+            self._fill_ready()
+            self._maybe_help()
+
+    def _serve(self) -> None:
+        if self.site.paused:
+            return
+        pm = self.site.processing_manager
+        while self.ready:
+            frame = self.ready[0][0]
+            requested = True
+            if self._pm_hungry:
+                self._pm_hungry -= 1
+            elif (self.config.scheduling.use_hints and frame.critical
+                  and pm.can_overcommit()):
+                # critical-path frames jump the queue into an extra slot
+                self.stats.inc("critical_overcommits")
+                requested = False
+            else:
+                break
+            frame, compiled = self.ready.popleft()
+            self.kernel.cpu_charge(self.cost.sched_decision_cost)
+            pm.receive_work(frame, compiled, requested=requested)
+        # with everything handed out, consider prefetching the next steal
+        self._maybe_help()
+
+    # ------------------------------------------------------------------
+    # help requests (work stealing)
+
+    def _maybe_help(self) -> None:
+        if self.site.paused or self.site.sleeping:
+            return
+        if (self._help_outstanding
+                or self.ready
+                or self.executable
+                or self._pending_code):
+            return
+        if self._pm_hungry == 0:
+            # not idle — but optionally keep one steal in flight so the
+            # next frame is local by the time the current one completes
+            if not (self.config.scheduling.prefetch_steal
+                    and self.site.processing_manager.in_flight > 0):
+                return
+        if not self.site.program_manager.has_active_programs():
+            return
+        self._send_help()
+
+    def _send_help(self, exclude: Optional[Set[int]] = None) -> None:
+        now = self.kernel.now
+        excluded = set(exclude or ())
+        excluded.update(s for s, until in self._cooldown.items()
+                        if until > now)
+        target = self.site.cluster_manager.pick_help_target(excluded)
+        if target is None:
+            self._schedule_retry()
+            return
+        self._help_outstanding = True
+        msg = SDMessage(
+            type=MsgType.HELP_REQUEST,
+            src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=target, dst_manager=ManagerId.SCHEDULING,
+            payload={
+                "record": self.site.cluster_manager.local_record_wire(),
+                "load": self.site.site_manager.current_load(),
+            },
+        )
+        self.stats.inc("help_sent")
+        ok = self.site.message_manager.request(
+            msg, self._on_help_reply,
+            timeout=max(4 * self.config.scheduling.help_retry_interval, 0.05),
+            on_timeout=lambda: self._help_failed(target))
+        if not ok:
+            self._help_failed(target)
+
+    def _help_failed(self, target: int) -> None:
+        self._help_outstanding = False
+        self._cooldown[target] = (self.kernel.now
+                                  + self._help_backoff
+                                  * self.config.scheduling.help_retry_interval)
+        self._schedule_retry()
+
+    def _on_help_reply(self, msg: SDMessage) -> None:
+        self._help_outstanding = False
+        self.site.cluster_manager.note_load(msg.src_site,
+                                            msg.payload.get("load", 0.0))
+        if msg.type == MsgType.CANT_HELP:
+            self.stats.inc("cant_help_received")
+            self._help_failed(msg.src_site)
+            return
+        if msg.type != MsgType.HELP_REPLY:
+            self.log("unexpected help reply %s", msg.type.name)
+            return
+        info_wire = msg.payload.get("program_info")
+        if info_wire is not None:
+            self.site.program_manager.learn_program_wire(info_wire)
+        frame = Microframe.from_wire(msg.payload["frame"])
+        self.stats.inc("steals_in")
+        self.site.journal_event("steal_in", victim=msg.src_site,
+                                frame=frame.frame_id.pack())
+        self._help_backoff = 1.0
+        self._cooldown.clear()
+        self.enqueue_executable(frame)
+
+    def _schedule_retry(self) -> None:
+        if self._help_timer is not None:
+            return
+        if not self.site.program_manager.has_active_programs():
+            return
+        delay = (self.config.scheduling.help_retry_interval
+                 * self._help_backoff)
+        self._help_backoff = min(self._help_backoff * 1.5, 8.0)
+        self._help_timer = self.kernel.call_later(delay, self._retry_tick)
+
+    def _retry_tick(self) -> None:
+        self._help_timer = None
+        if not self.site.running:
+            return
+        self._maybe_help()
+
+    def kick(self) -> None:
+        """External nudge (program registered, site joined/unpaused/woken):
+        serve anything that accumulated, refill, and retry stealing."""
+        self._help_backoff = 1.0
+        if self._help_timer is not None:
+            self.kernel.cancel(self._help_timer)
+            self._help_timer = None
+        # frames may have reached the ready queue while we were paused or
+        # asleep — hand them out before considering a steal
+        self._serve()
+        self._fill_ready()
+        self._maybe_help()
+
+    # ------------------------------------------------------------------
+    # serving help requests from other sites
+
+    def handle(self, msg: SDMessage) -> None:
+        if msg.type == MsgType.HELP_REQUEST:
+            self._on_help_request(msg)
+        elif msg.type in (MsgType.HELP_REPLY, MsgType.CANT_HELP):
+            # late reply whose request timed out; recover the frame if any
+            if msg.type == MsgType.HELP_REPLY:
+                info_wire = msg.payload.get("program_info")
+                if info_wire is not None:
+                    self.site.program_manager.learn_program_wire(info_wire)
+                self.enqueue_executable(
+                    Microframe.from_wire(msg.payload["frame"]))
+        else:
+            super().handle(msg)
+
+    def _on_help_request(self, msg: SDMessage) -> None:
+        record = msg.payload.get("record")
+        if record is not None:
+            self.site.cluster_manager.learn_record(record)
+        self.site.cluster_manager.note_load(msg.src_site,
+                                            msg.payload.get("load", 0.0))
+        cfg = self.config.scheduling
+        my_load = self.site.site_manager.current_load()
+        if self.site.paused:
+            self.site.message_manager.send(make_reply(
+                msg, MsgType.CANT_HELP, {"load": my_load}))
+            self.stats.inc("cant_help_sent")
+            return
+        spare = len(self.executable) + len(self.ready)
+        if spare > cfg.keep_local_min and self.executable:
+            frame = take_for_help(self.executable, cfg.help_reply_policy)
+        elif spare > cfg.keep_local_min and self.ready:
+            frame, _compiled = (self.ready.pop()
+                                if cfg.help_reply_policy == "lifo"
+                                else self.ready.popleft())
+        else:
+            self.site.message_manager.send(make_reply(
+                msg, MsgType.CANT_HELP, {"load": my_load}))
+            self.stats.inc("cant_help_sent")
+            return
+        payload = {
+            "frame": frame.to_wire(),
+            "load": my_load,
+        }
+        if self.site.program_manager.knows(frame.program):
+            payload["program_info"] = (
+                self.site.program_manager.get(frame.program).to_wire())
+        self.site.message_manager.send(make_reply(
+            msg, MsgType.HELP_REPLY, payload))
+        self.stats.inc("steals_out")
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+
+    def drop_program(self, pid: int) -> None:
+        self.executable = deque(f for f in self.executable
+                                if f.program != pid)
+        self.ready = deque((f, c) for f, c in self.ready if f.program != pid)
+        self._pending_code = {fid: f for fid, f in self._pending_code.items()
+                              if f.program != pid}
+
+    def snapshot_frames(self) -> List[Microframe]:
+        """Copy of queued frames (checkpoint wave — queues stay in place)."""
+        return (list(self.executable) + [f for f, _c in self.ready]
+                + list(self._pending_code.values()))
+
+    def reset_for_recovery(self) -> None:
+        """Drop every queued frame (rollback: the checkpoint restores them).
+
+        Clearing ``_pending_code`` matters: stale in-flight code fetches
+        would otherwise keep counting against the ready-queue budget and
+        wedge ``_fill_ready`` forever.
+        """
+        self.executable.clear()
+        self.ready.clear()
+        self._pending_code.clear()
+        self._code_retries.clear()
+
+    def export_frames(self) -> List[Microframe]:
+        """Drain all queues (including in-flight code fetches) for sign-off
+        relocation (§3.4)."""
+        frames = (list(self.executable) + [f for f, _c in self.ready]
+                  + list(self._pending_code.values()))
+        self.executable.clear()
+        self.ready.clear()
+        self._pending_code.clear()
+        return frames
+
+    def queue_depth(self) -> int:
+        return (len(self.executable) + len(self.ready)
+                + len(self._pending_code))
+
+    def on_stop(self) -> None:
+        if self._help_timer is not None:
+            self.kernel.cancel(self._help_timer)
+            self._help_timer = None
+
+    def status(self) -> dict:
+        base = super().status()
+        base["executable"] = len(self.executable)
+        base["ready"] = len(self.ready)
+        base["pending_code"] = len(self._pending_code)
+        return base

@@ -1,0 +1,63 @@
+"""Queue disciplines for the scheduling manager.
+
+The paper (§4): "a LIFO-strategy is used for the replying to help requests
+to hide the communication latencies.  To avoid starving of microframes, a
+FIFO-strategy is used momentarily for the local scheduling."  Both are
+policy knobs here (``SchedulingConfig``) so the bench in
+``benchmarks/bench_help_policies.py`` can cross them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import SchedulingError
+from repro.core.frames import Microframe
+
+
+def pop_frame(queue: Deque[Microframe], policy: str,
+              use_hints: bool) -> Microframe:
+    """Take the next frame for *local* consumption.
+
+    ``priority`` policy (and ``use_hints`` under any policy) prefers frames
+    the CDAG marked critical / high priority (§3.3 scheduling hints).
+    """
+    if not queue:
+        raise SchedulingError("pop from empty frame queue")
+    if policy == "priority" or (use_hints and _has_hints(queue)):
+        best_index = 0
+        best_key = _hint_key(queue[0])
+        for index in range(1, len(queue)):
+            key = _hint_key(queue[index])
+            if key > best_key:
+                best_key = key
+                best_index = index
+        frame = queue[best_index]
+        del queue[best_index]
+        return frame
+    if policy == "lifo":
+        return queue.pop()
+    if policy == "fifo":
+        return queue.popleft()
+    raise SchedulingError(f"unknown local policy {policy!r}")
+
+
+def take_for_help(queue: Deque[Microframe], policy: str) -> Microframe:
+    """Take a frame to give away on a help request (LIFO per the paper)."""
+    if not queue:
+        raise SchedulingError("take_for_help from empty queue")
+    if policy == "lifo":
+        return queue.pop()
+    if policy == "fifo":
+        return queue.popleft()
+    raise SchedulingError(f"unknown help reply policy {policy!r}")
+
+
+def _has_hints(queue: Deque[Microframe]) -> bool:
+    return any(f.critical or f.priority > 0.0 for f in queue)
+
+
+def _hint_key(frame: Microframe) -> tuple:
+    # critical-path frames first, then higher priority, then older frames
+    return (1 if frame.critical else 0, frame.priority, -frame.created_at)

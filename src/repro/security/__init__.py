@@ -1,0 +1,33 @@
+"""Security layer (paper §4, security manager).
+
+"Its main purpose is to establish a security layer between the (presumably)
+secure local machine and the (presumably) unsafe network.  Therefore it
+encrypts all outgoing data before it is delivered by the network manager,
+and decrypts all incoming traffic as well."
+
+Built from scratch on stdlib ``hashlib``/``hmac`` only:
+
+* :mod:`repro.security.cipher` — SHA-256 counter-mode keystream cipher with
+  HMAC-SHA256 integrity (encrypt-then-MAC).
+* :mod:`repro.security.dh` — classic Diffie–Hellman over an RFC 3526 group
+  for session-key rotation.
+* :mod:`repro.security.layer` — the per-site :class:`SecurityLayer`: pairwise
+  keys bootstrapped from the cluster password ("a first contact must be made
+  in a secure way, e. g. by supplying a start password by hand"), optional DH
+  upgrade, and a pass-through mode when the cluster "can be judged secure ...
+  in favor of a performance gain".
+"""
+
+from repro.security.cipher import seal, open_sealed, derive_key
+from repro.security.dh import DHKeyPair, DH_GROUP_PRIME, DH_GENERATOR
+from repro.security.layer import SecurityLayer
+
+__all__ = [
+    "seal",
+    "open_sealed",
+    "derive_key",
+    "DHKeyPair",
+    "DH_GROUP_PRIME",
+    "DH_GENERATOR",
+    "SecurityLayer",
+]

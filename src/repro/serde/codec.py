@@ -1,0 +1,266 @@
+"""A compact self-describing binary codec for SDVM payloads.
+
+Design goals:
+
+* **Deterministic**: the same value always encodes to the same bytes
+  (dict keys are *not* reordered — insertion order is preserved — so manager
+  protocols that hash or compare encodings behave predictably).
+* **Closed type set**: only the types managers and microthreads legitimately
+  exchange are supported; anything else raises
+  :class:`~repro.common.errors.SerializationError` instead of silently
+  pickling arbitrary objects (a security consideration the paper's security
+  manager motivates).
+* **Compact**: varint/zigzag integers, small-value fast paths, length-
+  prefixed containers.  Message sizes feed the simulated bandwidth model, so
+  compactness directly shapes benchmark numbers, as it did on the paper's
+  LAN.
+
+Wire grammar (one byte tag, then payload):
+
+====  =======================================================
+tag   payload
+====  =======================================================
+N     none
+T/F   true / false
+I     zigzag varint
+J     big int: varint byte-length + sign byte + magnitude LE
+D     float64 big-endian
+S     varint length + utf-8 bytes
+B     varint length + raw bytes
+L     varint count + items            (list)
+U     varint count + items            (tuple)
+M     varint count + key/value pairs  (dict)
+E     varint count + items            (set)
+A     packed GlobalAddress varint
+H     FileHandle: two varints
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.common.errors import SerializationError
+from repro.common.ids import FileHandle, GlobalAddress
+
+_FLOAT = struct.Struct(">d")
+
+# ---------------------------------------------------------------------------
+# varint primitives
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else -1
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+
+_MAX_SMALL_INT = (1 << 63) - 1
+_MIN_SMALL_INT = -(1 << 63)
+
+
+def _encode(out: bytearray, value: Any) -> None:
+    # Exact-type dispatch: bool is an int subclass, so check it first.
+    t = type(value)
+    if value is None:
+        out.append(ord("N"))
+    elif t is bool:
+        out.append(ord("T") if value else ord("F"))
+    elif t is int:
+        if _MIN_SMALL_INT <= value <= _MAX_SMALL_INT:
+            out.append(ord("I"))
+            write_uvarint(out, ((value << 1) ^ (value >> 63)) & ((1 << 70) - 1)
+                          if value < 0 else value << 1)
+        else:
+            out.append(ord("J"))
+            sign = 1 if value < 0 else 0
+            mag = (-value if sign else value).to_bytes(
+                ((-value if sign else value).bit_length() + 7) // 8, "little")
+            write_uvarint(out, len(mag))
+            out.append(sign)
+            out.extend(mag)
+    elif t is float:
+        out.append(ord("D"))
+        out.extend(_FLOAT.pack(value))
+    elif t is str:
+        raw = value.encode("utf-8")
+        out.append(ord("S"))
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif t is bytes or t is bytearray or t is memoryview:
+        raw = bytes(value)
+        out.append(ord("B"))
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif t is list:
+        out.append(ord("L"))
+        write_uvarint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif t is tuple:
+        out.append(ord("U"))
+        write_uvarint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif t is dict:
+        out.append(ord("M"))
+        write_uvarint(out, len(value))
+        for key, val in value.items():
+            _encode(out, key)
+            _encode(out, val)
+    elif t is set or t is frozenset:
+        out.append(ord("E"))
+        write_uvarint(out, len(value))
+        # canonical order so encodings are deterministic
+        for item in sorted(value, key=_set_sort_key):
+            _encode(out, item)
+    elif t is GlobalAddress:
+        out.append(ord("A"))
+        write_uvarint(out, value.pack())
+    elif t is FileHandle:
+        out.append(ord("H"))
+        write_uvarint(out, value.site)
+        write_uvarint(out, value.local)
+    else:
+        raise SerializationError(
+            f"type {t.__name__!r} is not serializable on the SDVM wire")
+
+
+def _set_sort_key(item: Any) -> Tuple[str, Any]:
+    return (type(item).__name__, repr(item))
+
+
+def dumps(value: Any) -> bytes:
+    """Serialize ``value`` to bytes."""
+    out = bytearray()
+    _encode(out, value)
+    return bytes(out)
+
+
+def encoded_size(value: Any) -> int:
+    """Size in bytes of the encoding (drives the simulated bandwidth model)."""
+    return len(dumps(value))
+
+
+# ---------------------------------------------------------------------------
+# decoding
+
+
+def _decode(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise SerializationError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == ord("N"):
+        return None, pos
+    if tag == ord("T"):
+        return True, pos
+    if tag == ord("F"):
+        return False, pos
+    if tag == ord("I"):
+        raw, pos = read_uvarint(data, pos)
+        return (raw >> 1) ^ -(raw & 1), pos
+    if tag == ord("J"):
+        length, pos = read_uvarint(data, pos)
+        if pos + 1 + length > len(data):
+            raise SerializationError("truncated big int")
+        sign = data[pos]
+        pos += 1
+        mag = int.from_bytes(data[pos:pos + length], "little")
+        return (-mag if sign else mag), pos + length
+    if tag == ord("D"):
+        if pos + 8 > len(data):
+            raise SerializationError("truncated float")
+        return _FLOAT.unpack_from(data, pos)[0], pos + 8
+    if tag == ord("S"):
+        length, pos = read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise SerializationError("truncated string")
+        try:
+            return data[pos:pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"invalid utf-8 on wire: {exc}") from exc
+    if tag == ord("B"):
+        length, pos = read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise SerializationError("truncated bytes")
+        return data[pos:pos + length], pos + length
+    if tag == ord("L") or tag == ord("U"):
+        count, pos = read_uvarint(data, pos)
+        items: List[Any] = []
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == ord("U") else items), pos
+    if tag == ord("M"):
+        count, pos = read_uvarint(data, pos)
+        result: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode(data, pos)
+            val, pos = _decode(data, pos)
+            result[key] = val
+        return result, pos
+    if tag == ord("E"):
+        count, pos = read_uvarint(data, pos)
+        out = set()
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            out.add(item)
+        return out, pos
+    if tag == ord("A"):
+        raw, pos = read_uvarint(data, pos)
+        return GlobalAddress.unpack(raw), pos
+    if tag == ord("H"):
+        site, pos = read_uvarint(data, pos)
+        local, pos = read_uvarint(data, pos)
+        return FileHandle(site, local), pos
+    raise SerializationError(f"unknown wire tag 0x{tag:02x}")
+
+
+def loads(data: bytes) -> Any:
+    """Deserialize a value previously produced by :func:`dumps`.
+
+    Trailing garbage is an error — a frame must contain exactly one value.
+    """
+    value, pos = _decode(bytes(data), 0)
+    if pos != len(data):
+        raise SerializationError(
+            f"{len(data) - pos} trailing bytes after value")
+    return value

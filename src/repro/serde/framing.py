@@ -1,0 +1,66 @@
+"""Length-prefixed framing for stream transports.
+
+The network manager (§4) moves serialized SDMessages over TCP byte streams;
+frames delimit messages.  :class:`FrameDecoder` is incremental so the live
+runtime's listener threads can feed it whatever ``recv`` returns.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+from repro.common.errors import SerializationError
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames larger than this (64 MiB) — protects the live runtime from
+#: a corrupted length prefix allocating unbounded buffers
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a 4-byte big-endian length prefix."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise SerializationError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_SIZE")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder.
+
+    >>> dec = FrameDecoder()
+    >>> list(dec.feed(frame(b"hi") + frame(b"there")[:3]))
+    [b'hi']
+    >>> list(dec.feed(frame(b"there")[3:]))
+    [b'there']
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[bytes]:
+        """Feed raw stream bytes; yield every complete frame payload."""
+        self._buffer.extend(data)
+        out: List[bytes] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_SIZE:
+                raise SerializationError(
+                    f"incoming frame of {length} bytes exceeds MAX_FRAME_SIZE")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            out.append(bytes(self._buffer[_HEADER.size:end]))
+            del self._buffer[:end]
+        return iter(out)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

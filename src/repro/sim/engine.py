@@ -1,0 +1,157 @@
+"""The discrete-event simulator: virtual clock + ordered event queue.
+
+Determinism rules:
+
+* events fire in (time, insertion-sequence) order, so simultaneous events
+  run in the order they were scheduled;
+* cancelled events stay in the heap but are skipped (lazy deletion), which
+  keeps :meth:`Simulator.cancel` O(1);
+* all randomness flows through :attr:`Simulator.rng`, seeded at construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SDVMError
+
+
+class SimulationError(SDVMError):
+    """Raised for kernel misuse (negative delays, running a stopped sim)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy removal from the heap)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven virtual-time kernel.
+
+    >>> sim = Simulator(seed=1)
+    >>> order = []
+    >>> _ = sim.schedule(2.0, order.append, "b")
+    >>> _ = sim.schedule(1.0, order.append, "a")
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.rng = random.Random(seed)
+        #: number of events executed (exposed for tests/benchmarks)
+        self.events_executed = 0
+        #: optional hook called before each event fires: hook(event)
+        self.trace_hook: Optional[Callable[[Event], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self._now}")
+        event = Event(time=time, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        event.cancel()
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drains earlier (useful for fixed-horizon runs).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        executed_this_run = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self.events_executed += 1
+                executed_this_run += 1
+                if self.trace_hook is not None:
+                    self.trace_hook(event)
+                event.fn(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            if self.trace_hook is not None:
+                self.trace_hook(event)
+            event.fn(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

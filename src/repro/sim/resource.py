@@ -1,0 +1,72 @@
+"""A capacity-limited FIFO resource for the simulation kernel.
+
+Used to model contended serial resources (a site's CPU, a disk, a shared
+link).  Requests are granted in FIFO order; a holder releases explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class SimResource:
+    """A counting resource: at most ``capacity`` concurrent holders.
+
+    ``acquire(fn)`` calls ``fn()`` immediately if a slot is free, otherwise
+    queues it; ``release()`` wakes the next waiter (scheduled at the current
+    time so event ordering stays deterministic).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self._capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Callable[[], None]] = deque()
+        #: total time-weighted utilization bookkeeping
+        self._busy_area = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self._sim.now
+        self._busy_area += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` as soon as a slot is available."""
+        if self._in_use < self._capacity:
+            self._account()
+            self._in_use += 1
+            fn()
+        else:
+            self._waiters.append(fn)
+
+    def release(self) -> None:
+        """Free one slot, waking the longest-waiting requester."""
+        if self._in_use <= 0:
+            raise SimulationError("release without matching acquire")
+        self._account()
+        self._in_use -= 1
+        if self._waiters:
+            fn = self._waiters.popleft()
+            self._in_use += 1
+            # schedule rather than call: the waiter runs as a fresh event
+            self._sim.schedule(0.0, fn)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since construction."""
+        self._account()
+        elapsed = self._sim.now if self._sim.now > 0 else 1.0
+        return self._busy_area / (self._capacity * elapsed)

@@ -1,0 +1,169 @@
+"""The kernel interface a site daemon runs on, plus the modelled CPU.
+
+All manager code is written against :class:`Kernel`, so the same protocol
+logic runs under the deterministic simulation and under real threads and
+sockets — the design move that lets one implementation serve both the
+benchmarks (reproducible timing) and the live runtime (proof the protocols
+actually work).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SDVMError
+
+
+class Kernel(abc.ABC):
+    """Execution substrate services for one site daemon."""
+
+    #: 'sim' or 'live' — a few components (context, processing manager)
+    #: pick mode-specific strategies
+    mode: str = "abstract"
+
+    rng: random.Random
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time (virtual seconds in sim, wall clock in live)."""
+
+    @abc.abstractmethod
+    def call_later(self, delay: float, fn: Callable[..., None],
+                   *args: Any) -> Any:
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable
+        handle."""
+
+    @abc.abstractmethod
+    def cancel(self, handle: Any) -> None:
+        """Cancel a :meth:`call_later` handle (idempotent)."""
+
+    @abc.abstractmethod
+    def post(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` as soon as possible, preserving post order."""
+
+    @abc.abstractmethod
+    def cpu_charge(self, seconds: float) -> None:
+        """Occupy this site's CPU for ``seconds`` of protocol work."""
+
+    @abc.abstractmethod
+    def cpu_run(self, seconds: float, fn: Callable[..., None],
+                *args: Any) -> None:
+        """Occupy the CPU for ``seconds``, then run ``fn(*args)``."""
+
+    @abc.abstractmethod
+    def transport_send(self, dst_physical: str, data: bytes) -> bool:
+        """Hand bytes to the transport for ``dst_physical``."""
+
+    @abc.abstractmethod
+    def local_physical(self) -> str:
+        """This site's physical address."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Tear down transports/threads owned by the kernel."""
+
+
+class CpuModel:
+    """Processor-sharing model of one site's CPU for the sim kernel.
+
+    All protocol work (message serialization, scheduling decisions,
+    compilation) and microthread compute segments run here as jobs that
+    share the CPU equally — matching the paper's execution environment,
+    where the daemon's ~5 virtually parallel microthreads are OS threads
+    the operating system timeshares.  A 20 µs bookkeeping microthread
+    therefore finishes in ~n·20 µs even while a long test computes, instead
+    of queueing behind it; and overhead genuinely contends with useful
+    work, which is what makes the single-site overhead experiment (paper
+    §5: ~3 %) meaningful.
+
+    Deterministic: completions are processed in (time, admission-sequence)
+    order; all state advances only at event boundaries.
+    """
+
+    __slots__ = ("_sim", "speed", "_jobs", "_seq", "_last_update",
+                 "_completion_event", "busy_total", "overhead_total")
+
+    def __init__(self, sim: "Any", speed: float) -> None:
+        if speed <= 0:
+            raise SDVMError(f"CPU speed must be positive, got {speed}")
+        self._sim = sim
+        self.speed = speed
+        #: active jobs: [remaining_cpu_seconds, seq, fn, args, overhead]
+        self._jobs: list = []
+        self._seq = 0
+        self._last_update = 0.0
+        self._completion_event = None
+        #: total CPU-seconds consumed
+        self.busy_total = 0.0
+        #: CPU-seconds spent on protocol overhead (vs. microthread compute)
+        self.overhead_total = 0.0
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Progress every active job up to the current instant."""
+        now = self._sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        n = len(self._jobs)
+        if n == 0 or dt <= 0.0:
+            return
+        share = dt / n
+        self.busy_total += dt
+        for job in self._jobs:
+            job[0] -= share
+            if job[4]:
+                self.overhead_total += share
+
+    def _reschedule(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            return
+        n = len(self._jobs)
+        shortest = min(job[0] for job in self._jobs)
+        delay = max(shortest, 0.0) * n
+        self._completion_event = self._sim.schedule(delay, self._complete)
+
+    def _complete(self) -> None:
+        self._completion_event = None
+        self._advance()
+        finished = [job for job in self._jobs if job[0] <= 1e-12]
+        if finished:
+            finished.sort(key=lambda job: job[1])  # admission order
+            self._jobs = [job for job in self._jobs if job[0] > 1e-12]
+            for job in finished:
+                if job[2] is not None:
+                    job[2](*job[3])
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def run(self, seconds: float, fn: Optional[Callable[..., None]],
+            *args: Any, overhead: bool = True) -> None:
+        """Admit a job of ``seconds`` CPU time; ``fn`` fires at completion."""
+        if seconds < 0:
+            raise SDVMError(f"negative CPU charge {seconds}")
+        if seconds == 0.0:
+            if fn is not None:
+                self._sim.schedule(0.0, fn, *args)
+            return
+        self._advance()
+        self._jobs.append([seconds, self._seq, fn, args, overhead])
+        self._seq += 1
+        self._reschedule()
+
+    def charge(self, seconds: float, overhead: bool = True) -> None:
+        """Consume CPU capacity without a completion callback."""
+        self.run(seconds, None, overhead=overhead)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def utilization(self) -> float:
+        """Busy fraction since t=0."""
+        now = self._sim.now
+        return self.busy_total / now if now > 0 else 0.0

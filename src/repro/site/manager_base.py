@@ -1,0 +1,63 @@
+"""Base class all SDVM managers derive from."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import SDVMError
+from repro.common.ids import ManagerId
+from repro.common.stats import StatSet
+from repro.messages import SDMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.site.daemon import SDVMSite
+
+
+class Manager:
+    """One functional module of the site daemon (paper Fig. 3).
+
+    Managers hold per-site state, react to :class:`SDMessage` deliveries via
+    :meth:`handle`, and talk to sibling managers through direct references
+    on ``self.site`` — exactly the paper's structure where only *inter-site*
+    communication goes through the message manager.
+    """
+
+    manager_id: ManagerId
+
+    def __init__(self, site: "SDVMSite") -> None:
+        self.site = site
+        self.kernel = site.kernel
+        self.stats = StatSet()
+
+    # convenient shortcuts -------------------------------------------------
+    @property
+    def config(self):  # noqa: ANN201 — SDVMConfig
+        return self.site.config
+
+    @property
+    def cost(self):  # noqa: ANN201 — CostModel
+        return self.site.config.cost
+
+    @property
+    def local_id(self) -> int:
+        return self.site.site_id
+
+    @property
+    def log(self):  # noqa: ANN201
+        return self.site.log
+
+    # lifecycle ------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once the site has a logical id and is part of a cluster."""
+
+    def on_stop(self) -> None:
+        """Called during orderly shutdown."""
+
+    # messaging ------------------------------------------------------------
+    def handle(self, msg: SDMessage) -> None:
+        raise SDVMError(
+            f"{type(self).__name__} received unexpected {msg.type.name}")
+
+    def status(self) -> dict:
+        """Manager-specific status snapshot (site manager queries, §4)."""
+        return {"stats": self.stats.as_dict()}

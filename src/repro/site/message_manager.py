@@ -1,0 +1,216 @@
+"""The message manager — central hub for inter-site communication (Fig. 6).
+
+Outgoing path: a manager builds an :class:`SDMessage`; the message manager
+assigns a sequence number, resolves the target's *logical* site id to a
+*physical* address by querying the cluster manager's list, serializes, hands
+the bytes to the security layer for sealing, and passes the envelope to the
+network manager (the kernel transport).  Incoming path is the mirror image.
+
+It also implements request/reply correlation (``reply_to``) with optional
+timeouts, which every higher protocol (help requests, code fetches, memory
+reads) builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import SecurityError, SerializationError
+from repro.common.ids import ManagerId
+from repro.messages import MsgType, SDMessage
+from repro.site.manager_base import Manager
+
+#: callback invoked with the reply message
+ReplyCallback = Callable[[SDMessage], None]
+
+
+class _Pending:
+    __slots__ = ("on_reply", "timeout_handle")
+
+    def __init__(self, on_reply: ReplyCallback, timeout_handle: Any) -> None:
+        self.on_reply = on_reply
+        self.timeout_handle = timeout_handle
+
+
+class MessageManager(Manager):
+    manager_id = ManagerId.MESSAGE
+
+    def __init__(self, site: "Any") -> None:
+        super().__init__(site)
+        self._next_seq = 1
+        self._pending: Dict[int, _Pending] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def _assign_seq(self, msg: SDMessage) -> None:
+        msg.src_site = self.local_id
+        if msg.seq < 0:
+            msg.seq = self._next_seq
+            self._next_seq += 1
+        if msg.src_load < 0 and self.site.running:
+            msg.src_load = self.site.site_manager.current_load()
+
+    def send(self, msg: SDMessage) -> bool:
+        """Send ``msg``; returns False if the target cannot be resolved.
+
+        Messages to a site that has signed off are transparently rerouted to
+        its heir (see cluster manager) — the heir adopted the leaver's
+        frames and memory objects.
+        """
+        self._assign_seq(msg)
+        dst = self.site.cluster_manager.effective_site(msg.dst_site)
+        if dst == self.local_id:
+            # local loopback: no serialization/network, small dispatch cost
+            self.stats.inc("local_messages")
+            msg.dst_site = dst
+            self.kernel.cpu_run(self.cost.sched_decision_cost,
+                                self._dispatch, msg)
+            return True
+        physical = self.site.cluster_manager.physical_of(dst)
+        if physical is None:
+            self.stats.inc("unresolvable")
+            return False
+        msg.dst_site = dst
+        data = msg.encode()
+        cpu_cost = self.cost.msg_fixed_cost + len(data) * self.cost.msg_byte_cost
+        envelope = self.site.security_manager.protect(physical, data)
+        if self.site.security_manager.enabled:
+            cpu_cost += (self.cost.crypto_fixed_cost
+                         + len(data) * self.cost.crypto_byte_cost)
+        self.kernel.cpu_charge(cpu_cost)
+        self.stats.inc("sent")
+        self.stats.add("bytes_sent", len(envelope))
+        ok = self.kernel.transport_send(physical, envelope)
+        if not ok:
+            self.stats.inc("send_failed")
+        return ok
+
+    def send_physical(self, physical: str, msg: SDMessage) -> bool:
+        """Send directly to a physical address, bypassing logical resolution.
+
+        Needed during sign-on, when the joiner has no logical id yet and
+        knows only "the (ip) address of a site which is already part of the
+        cluster" (§6).
+        """
+        self._assign_seq(msg)
+        data = msg.encode()
+        cpu_cost = self.cost.msg_fixed_cost + len(data) * self.cost.msg_byte_cost
+        envelope = self.site.security_manager.protect(physical, data)
+        if self.site.security_manager.enabled:
+            cpu_cost += (self.cost.crypto_fixed_cost
+                         + len(data) * self.cost.crypto_byte_cost)
+        self.kernel.cpu_charge(cpu_cost)
+        self.stats.inc("sent")
+        self.stats.add("bytes_sent", len(envelope))
+        return self.kernel.transport_send(physical, envelope)
+
+    def request(self, msg: SDMessage, on_reply: ReplyCallback,
+                timeout: Optional[float] = None,
+                on_timeout: Optional[Callable[[], None]] = None) -> bool:
+        """Send ``msg`` and invoke ``on_reply`` with the correlated reply."""
+        self._assign_seq(msg)
+        seq = msg.seq
+        handle = None
+        if timeout is not None:
+            handle = self.kernel.call_later(timeout, self._timed_out, seq,
+                                            on_timeout)
+        self._pending[seq] = _Pending(on_reply, handle)
+        ok = self.send(msg)
+        if not ok:
+            self._drop_pending(seq)
+            return False
+        return True
+
+    def _timed_out(self, seq: int,
+                   on_timeout: Optional[Callable[[], None]]) -> None:
+        if seq in self._pending:
+            del self._pending[seq]
+            self.stats.inc("request_timeouts")
+            if on_timeout is not None:
+                on_timeout()
+
+    def _drop_pending(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None and pending.timeout_handle is not None:
+            self.kernel.cancel(pending.timeout_handle)
+
+    # ------------------------------------------------------------------
+    # receiving
+
+    def deliver_raw(self, envelope: bytes) -> None:
+        """Entry point for the network manager: unseal, decode, dispatch."""
+        try:
+            _sender, data = self.site.security_manager.unprotect(envelope)
+        except SecurityError as exc:
+            self.stats.inc("rejected_envelopes")
+            self.log("security rejected envelope: %s", exc)
+            return
+        try:
+            msg = SDMessage.decode(data)
+        except SerializationError as exc:
+            self.stats.inc("malformed")
+            self.log("malformed message dropped: %s", exc)
+            return
+        cpu_cost = self.cost.msg_fixed_cost + len(data) * self.cost.msg_byte_cost
+        if self.site.security_manager.enabled:
+            cpu_cost += (self.cost.crypto_fixed_cost
+                         + len(data) * self.cost.crypto_byte_cost)
+        self.stats.inc("received")
+        self.stats.add("bytes_received", len(data))
+        self.kernel.cpu_run(cpu_cost, self._dispatch, msg)
+
+    #: message kinds a departed-but-forwarding site relays to its heir
+    _FORWARDABLE = frozenset({
+        MsgType.APPLY_RESULT, MsgType.FRAME_TRANSFER, MsgType.MEM_READ,
+        MsgType.MEM_WRITE, MsgType.MEM_MIGRATE, MsgType.MEM_OBJECT,
+        MsgType.MEM_HOME_UPDATE, MsgType.CODE_REQUEST,
+        MsgType.CODE_PUSH_BINARY, MsgType.HELP_REQUEST, MsgType.SIGN_ON,
+        MsgType.PROGRAM_REGISTER, MsgType.IO_OUTPUT,
+    })
+
+    def _forward_to_heir(self, msg: SDMessage, heir: int) -> None:
+        """Relay a straggler to the heir without reassigning src/seq, so
+        request/reply correlation still works end-to-end."""
+        target = self.site.cluster_manager.effective_site(heir)
+        physical = self.site.cluster_manager.physical_of(target)
+        if physical is None:
+            self.stats.inc("forward_failed")
+            return
+        msg.dst_site = target
+        envelope = self.site.security_manager.protect(physical, msg.encode())
+        self.stats.inc("forwarded_to_heir")
+        self.kernel.transport_send(physical, envelope)
+
+    def _dispatch(self, msg: SDMessage) -> None:
+        if self.site.stopped:
+            return
+        if self.site.forward_to is not None:
+            # zombie window after sign-off relocation: we hold no state
+            if msg.reply_to < 0 and msg.type in self._FORWARDABLE:
+                self._forward_to_heir(msg, self.site.forward_to)
+                return
+            # replies may still resolve local pending requests; fall through
+        if msg.src_load >= 0 and msg.src_site != self.local_id:
+            self.site.cluster_manager.note_load(msg.src_site, msg.src_load)
+        if msg.reply_to >= 0:
+            pending = self._pending.pop(msg.reply_to, None)
+            if pending is not None:
+                if pending.timeout_handle is not None:
+                    self.kernel.cancel(pending.timeout_handle)
+                pending.on_reply(msg)
+                return
+            # fall through: unsolicited reply (e.g. after timeout) goes to
+            # the target manager, which may still make use of it
+            self.stats.inc("orphan_replies")
+        self.site.route(msg)
+
+    # ------------------------------------------------------------------
+    def on_stop(self) -> None:
+        for seq in list(self._pending):
+            self._drop_pending(seq)
+
+    def status(self) -> dict:
+        base = super().status()
+        base["pending_requests"] = len(self._pending)
+        return base

@@ -1,0 +1,16 @@
+"""Timeline tooling: inspect where a cluster spent its time.
+
+Enable journaling (``SDVMConfig(journal=True)``), run a workload, then::
+
+    from repro.trace import Timeline
+    timeline = Timeline.from_cluster(cluster)
+    print(timeline.render(width=72))     # ASCII Gantt, one lane per site
+    print(timeline.summary())
+
+Used by ``examples/`` and handy when tuning scheduling policies: the Gantt
+makes ramp-up gaps, steal storms, and barrier tails visible at a glance.
+"""
+
+from repro.trace.timeline import Timeline, TraceEvent
+
+__all__ = ["Timeline", "TraceEvent"]

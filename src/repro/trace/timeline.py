@@ -1,0 +1,119 @@
+"""Build and render per-site execution timelines from site journals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    time: float
+    site_index: int
+    kind: str
+    data: dict
+
+
+class Timeline:
+    """Per-site busy intervals + discrete events, reconstructed from the
+    ``exec_start``/``exec_end`` journal pairs."""
+
+    def __init__(self, events: List[TraceEvent], horizon: float) -> None:
+        self.events = sorted(events, key=lambda e: (e.time, e.site_index))
+        self.horizon = max(horizon, 1e-12)
+        self._busy = self._pair_intervals()
+
+    @classmethod
+    def from_cluster(cls, cluster) -> "Timeline":  # noqa: ANN001
+        """Collect the journals of a SimCluster's sites."""
+        events: List[TraceEvent] = []
+        horizon = cluster.sim.now
+        for index, site in enumerate(cluster.sites):
+            for time, kind, data in site.journal:
+                events.append(TraceEvent(time, index, kind, data))
+        return cls(events, horizon)
+
+    # ------------------------------------------------------------------
+    def _pair_intervals(self) -> Dict[int, List[Tuple[float, float]]]:
+        """Match exec_start/exec_end by frame id, per site."""
+        open_frames: Dict[Tuple[int, int], float] = {}
+        busy: Dict[int, List[Tuple[float, float]]] = {}
+        for event in self.events:
+            if event.kind == "exec_start":
+                open_frames[(event.site_index,
+                             event.data.get("frame", -1))] = event.time
+            elif event.kind == "exec_end":
+                key = (event.site_index, event.data.get("frame", -1))
+                start = open_frames.pop(key, None)
+                if start is not None:
+                    busy.setdefault(event.site_index, []).append(
+                        (start, event.time))
+        # still-open executions run to the horizon
+        for (site_index, _frame), start in open_frames.items():
+            busy.setdefault(site_index, []).append((start, self.horizon))
+        for intervals in busy.values():
+            intervals.sort()
+        return busy
+
+    def sites(self) -> List[int]:
+        indices = {e.site_index for e in self.events}
+        indices.update(self._busy)
+        return sorted(indices)
+
+    def busy_fraction(self, site_index: int) -> float:
+        """Fraction of the horizon the site had executions in flight."""
+        merged = self._merge(self._busy.get(site_index, []))
+        return sum(hi - lo for lo, hi in merged) / self.horizon
+
+    @staticmethod
+    def _merge(intervals: List[Tuple[float, float]]
+               ) -> List[Tuple[float, float]]:
+        merged: List[Tuple[float, float]] = []
+        for lo, hi in intervals:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def steals(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "steal_in"]
+
+    # ------------------------------------------------------------------
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt: one lane per site; '#' busy, 's' steal arrival."""
+        if not self.events:
+            return "(no journal events — enable SDVMConfig(journal=True))"
+        lines = [f"timeline 0 .. {self.horizon:.3f}s "
+                 f"({self.horizon / width:.4f}s per column)"]
+        for site_index in self.sites():
+            row = [" "] * width
+            for lo, hi in self._busy.get(site_index, []):
+                a = min(int(lo / self.horizon * width), width - 1)
+                b = min(int(hi / self.horizon * width), width - 1)
+                for column in range(a, b + 1):
+                    row[column] = "#"
+            for event in self.events:
+                if (event.site_index == site_index
+                        and event.kind == "steal_in"):
+                    column = min(int(event.time / self.horizon * width),
+                                 width - 1)
+                    if row[column] == " ":
+                        row[column] = "s"
+            busy_pct = 100.0 * self.busy_fraction(site_index)
+            lines.append(f"site{site_index:<3d}|{''.join(row)}| "
+                         f"{busy_pct:4.0f}%")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = ["site  busy%  executions  steals_in"]
+        for site_index in self.sites():
+            executions = sum(1 for e in self.events
+                             if e.site_index == site_index
+                             and e.kind == "exec_end")
+            steals = sum(1 for e in self.events
+                         if e.site_index == site_index
+                         and e.kind == "steal_in")
+            lines.append(f"{site_index:4d} {100 * self.busy_fraction(site_index):5.0f}% "
+                         f"{executions:11d} {steals:10d}")
+        return "\n".join(lines)

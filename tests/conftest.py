@@ -1,0 +1,31 @@
+"""Shared fixtures for the SDVM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CostModel,
+    NetworkConfig,
+    SchedulingConfig,
+    SDVMConfig,
+)
+
+
+@pytest.fixture
+def fast_config() -> SDVMConfig:
+    """A cluster config with a cheap compile cost so integration tests fly.
+
+    Everything else keeps production defaults, so manager behaviour under
+    test matches what the benchmarks exercise.
+    """
+    return SDVMConfig(
+        cost=CostModel(compile_fixed_cost=1e-4),
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+    )
+
+
+@pytest.fixture
+def sim():
+    from repro.sim.engine import Simulator
+    return Simulator(seed=7)

@@ -1,0 +1,143 @@
+"""Correctness tests for every example application, on 1 and several sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    build_mandelbrot_program,
+    build_matmul_program,
+    build_mergesort_program,
+    build_primes_program,
+    build_primes_rounds_program,
+    build_stencil_program,
+    first_n_primes,
+)
+from repro.apps.matmul import reference_multiply
+from repro.apps.mergesort import generate_input
+from repro.apps.stencil import reference_stencil
+from repro.site.simcluster import SimCluster
+
+
+def run(program, args, nsites, fast_config):
+    cluster = SimCluster(nsites=nsites, config=fast_config)
+    handle = cluster.submit(program, args=args)
+    cluster.run(progress_timeout=120.0)
+    return cluster, handle
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("nsites", [1, 4])
+    @pytest.mark.parametrize("width", [1, 5, 10])
+    def test_correct_primes(self, nsites, width, fast_config):
+        app = build_primes_program()
+        _c, handle = run(app, (25, width, 200.0, 2000.0), nsites,
+                         fast_config)
+        assert handle.result == first_n_primes(25)
+
+    def test_rounds_variant_correct(self, fast_config):
+        app = build_primes_rounds_program()
+        _c, handle = run(app, (25, 8, 200.0, 2000.0), 4, fast_config)
+        assert handle.result == first_n_primes(25)
+
+    def test_width_exceeding_needed_candidates(self, fast_config):
+        app = build_primes_program()
+        _c, handle = run(app, (3, 20, 100.0, 1000.0), 2, fast_config)
+        assert handle.result == [2, 3, 5]
+
+    def test_bad_arguments_exit_cleanly(self, fast_config):
+        app = build_primes_program()
+        _c, handle = run(app, (0, 5, 100.0, 1000.0), 1, fast_config)
+        assert handle.result == []
+
+    def test_speedup_on_more_sites(self, fast_config):
+        app = build_primes_program()
+        _c1, h1 = run(app, (60, 8, 400.0, 4000.0), 1, fast_config)
+        _c4, h4 = run(app, (60, 8, 400.0, 4000.0), 4, fast_config)
+        assert h1.result == h4.result == first_n_primes(60)
+        assert h4.duration < h1.duration * 0.6
+
+    def test_sequential_work_units_monotone(self):
+        from repro.apps import sequential_work_units
+        assert (sequential_work_units(50)
+                > sequential_work_units(20)
+                > sequential_work_units(5) > 0)
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("nsites", [1, 4])
+    def test_product_correct(self, nsites, fast_config):
+        app = build_matmul_program()
+        _c, handle = run(app, (12, 4), nsites, fast_config)
+        assert handle.result == reference_multiply(12)
+
+    def test_single_block(self, fast_config):
+        app = build_matmul_program()
+        _c, handle = run(app, (6, 6), 1, fast_config)
+        assert handle.result == reference_multiply(6)
+
+    def test_bad_block_exits(self, fast_config):
+        app = build_matmul_program()
+        _c, handle = run(app, (10, 3), 1, fast_config)
+        assert handle.result is None
+
+
+class TestMergesort:
+    @pytest.mark.parametrize("nsites", [1, 3])
+    def test_sorts(self, nsites, fast_config):
+        app = build_mergesort_program()
+        _c, handle = run(app, (500, 32, 42), nsites, fast_config)
+        assert handle.result == sorted(generate_input(500, 42))
+
+    def test_small_input_below_cutoff(self, fast_config):
+        app = build_mergesort_program()
+        _c, handle = run(app, (10, 32, 7), 1, fast_config)
+        assert handle.result == sorted(generate_input(10, 7))
+
+    def test_recursion_spreads_work(self, fast_config):
+        app = build_mergesort_program()
+        cluster, handle = run(app, (2000, 64, 1), 4, fast_config)
+        assert handle.result == sorted(generate_input(2000, 1))
+        busy_sites = sum(
+            1 for s in cluster.sites
+            if s.processing_manager.stats.get("executions").count > 0)
+        assert busy_sites >= 2
+
+
+class TestMandelbrot:
+    def test_render(self, fast_config):
+        app = build_mandelbrot_program()
+        cluster, handle = run(app, (40, 12, 50), 3, fast_config)
+        total, art = handle.result
+        assert total > 0
+        assert len(art) == 12
+        assert all(len(line) == 40 for line in art)
+        # output reached the frontend, one line per row
+        assert len(handle.output()) == 12
+
+    def test_deterministic(self, fast_config):
+        app = build_mandelbrot_program()
+        _c1, h1 = run(app, (20, 8, 30), 1, fast_config)
+        _c2, h2 = run(app, (20, 8, 30), 4, fast_config)
+        assert h1.result == h2.result
+
+
+class TestStencil:
+    @pytest.mark.parametrize("nsites", [1, 4])
+    def test_matches_reference(self, nsites, fast_config):
+        app = build_stencil_program()
+        _c, handle = run(app, (16, 4, 5), nsites, fast_config)
+        checksum, delta = handle.result
+        ref_checksum, ref_delta = reference_stencil(16, 5)
+        assert checksum == pytest.approx(ref_checksum)
+        assert delta == pytest.approx(ref_delta)
+
+    def test_survives_sign_off_mid_run(self, fast_config):
+        app = build_stencil_program()
+        cluster = SimCluster(nsites=4, config=fast_config)
+        handle = cluster.submit(app, args=(16, 4, 30))
+        cluster.sign_off_site(3, at=0.05)
+        cluster.run(progress_timeout=120.0)
+        checksum, _delta = handle.result
+        ref_checksum, _ref_delta = reference_stencil(16, 30)
+        assert checksum == pytest.approx(ref_checksum)

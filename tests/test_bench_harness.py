@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness and the Table-1 calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.primes import sequential_work_units
+from repro.bench.calibration import (
+    BASE_TO_SCALE,
+    PAPER_OVERHEAD_PERCENT,
+    PAPER_SPEEDUPS,
+    PAPER_TABLE1,
+    calibrated_test_params,
+)
+from repro.bench.harness import bench_config, render_table, run_primes, speedup_row
+
+
+class TestCalibration:
+    def test_paper_table_complete(self):
+        assert set(PAPER_TABLE1) == {(p, w) for p in (100, 200, 500, 1000)
+                                     for w in (10, 20)}
+        for t1, t4, t8 in PAPER_TABLE1.values():
+            assert t1 > t4 > t8 > 0
+
+    def test_paper_speedups_in_published_bands(self):
+        for (p, w), (s4, s8) in PAPER_SPEEDUPS.items():
+            assert 3.3 < s4 < 3.7, (p, w)
+            assert 6.3 < s8 < 7.1, (p, w)
+
+    def test_calibration_reproduces_t1(self):
+        """The ideal sequential time under calibrated params equals the
+        paper's 1-site seconds exactly."""
+        for (p, width), (paper_t1, _t4, _t8) in PAPER_TABLE1.items():
+            if p > 200:
+                continue  # keep the test fast; same formula throughout
+            scale, base = calibrated_test_params(p, width)
+            assert base == pytest.approx(BASE_TO_SCALE * scale)
+            ideal = sequential_work_units(p, scale=scale, base=base) * 1e-6
+            assert ideal == pytest.approx(paper_t1, rel=1e-9)
+
+    def test_overhead_constant(self):
+        assert PAPER_OVERHEAD_PERCENT == 3.0
+
+
+class TestHarness:
+    def test_run_primes_verifies(self):
+        duration, cluster = run_primes(10, 4, 2, 200.0, 2000.0)
+        assert duration > 0
+        assert cluster.alive_count() == 2
+
+    def test_run_primes_detects_wrong_result(self, monkeypatch):
+        import repro.bench.harness as harness
+        monkeypatch.setattr(harness, "first_n_primes",
+                            lambda p: ["wrong"])
+        from repro.common.errors import SDVMError
+        with pytest.raises(SDVMError, match="wrong result"):
+            run_primes(10, 4, 1, 200.0, 2000.0)
+
+    def test_speedup_row(self):
+        assert speedup_row(10.0, {2: 5.0, 4: 2.5}) == {2: 2.0, 4: 4.0}
+
+    def test_bench_config_overrides(self):
+        from repro.common.config import NetworkConfig
+        config = bench_config(network=NetworkConfig(latency=1.0))
+        assert config.network.latency == 1.0
+        assert config.scheduling.ready_target == 1
+
+    def test_render_table_alignment(self):
+        table = render_table("Title", ["a", "bb"],
+                             [[1, 2.5], ["xyz", "w"]])
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+        assert "2.50" in table  # floats formatted

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import APPS, _coerce_args, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestApps:
+    def test_lists_all(self):
+        code, text = run_cli("apps")
+        assert code == 0
+        for name in APPS:
+            assert name in text
+
+
+class TestCoercion:
+    def test_types_follow_defaults(self):
+        assert _coerce_args(["7", "2.5"], (1, 1.0, 3)) == (7, 2.5, 3)
+
+    def test_padding_with_defaults(self):
+        assert _coerce_args([], (1, 2)) == (1, 2)
+
+
+class TestRun:
+    def test_run_primes(self):
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000")
+        assert code == 0
+        assert "result: [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]" in text
+        assert "virtual time" in text
+
+    def test_run_matmul_default_args(self):
+        code, text = run_cli("run", "matmul", "--sites", "2")
+        assert code == 0
+        assert "executions" in text
+
+    def test_run_with_trace(self):
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--trace")
+        assert code == 0
+        assert "timeline" in text
+        assert "#" in text
+
+    def test_run_with_invoice(self):
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--invoice")
+        assert code == 0
+        assert "primes" in text
+        assert "cost" in text
+
+    def test_run_encrypted(self):
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--encrypt")
+        assert code == 0
+
+    def test_unknown_app(self):
+        code, text = run_cli("run", "doom")
+        assert code == 2
+        assert "unknown app" in text
+
+
+class TestTable1:
+    def test_unknown_row_rejected(self):
+        code, text = run_cli("table1", "--p", "123")
+        assert code == 2
+        assert "no paper row" in text
+
+    @pytest.mark.slow
+    def test_row_p100(self):
+        code, text = run_cli("table1", "--p", "100")
+        assert code == 0
+        assert "measured" in text and "paper" in text

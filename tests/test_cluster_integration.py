@@ -1,0 +1,150 @@
+"""Integration tests for cluster membership: sign-on, gossip, id strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, SDVMConfig, SiteConfig
+from repro.site.simcluster import SimCluster
+
+
+def build(nsites, **cluster_kwargs):
+    config = SDVMConfig(cluster=ClusterConfig(**cluster_kwargs))
+    cluster = SimCluster(nsites=nsites, config=config)
+    cluster.sim.run(until=1.0)
+    return cluster
+
+
+class TestSignOn:
+    def test_all_sites_get_unique_ids(self):
+        cluster = build(6)
+        ids = [s.site_id for s in cluster.sites]
+        assert -1 not in ids
+        assert len(set(ids)) == 6
+
+    def test_bootstrap_site_is_zero(self):
+        cluster = build(3)
+        assert cluster.sites[0].site_id == 0
+
+    def test_joiners_know_whole_cluster(self):
+        cluster = build(5)
+        # the last joiner got the full site list in its SIGN_ON_ACK
+        last = cluster.sites[-1]
+        assert len(last.cluster_manager.sites) == 5
+
+    def test_existing_sites_learn_joiners_via_gossip(self):
+        cluster = build(5)
+        for site in cluster.sites:
+            assert len(site.cluster_manager.sites) == 5
+
+    def test_records_carry_site_properties(self):
+        config = SDVMConfig()
+        cluster = SimCluster(
+            site_configs=[
+                SiteConfig(name="alpha", speed=2.0, platform="px"),
+                SiteConfig(name="beta", speed=0.5, platform="py"),
+            ],
+            config=config)
+        cluster.sim.run(until=1.0)
+        beta_seen_by_alpha = cluster.sites[0].cluster_manager.sites[
+            cluster.sites[1].site_id]
+        assert beta_seen_by_alpha.name == "beta"
+        assert beta_seen_by_alpha.speed == 0.5
+        assert beta_seen_by_alpha.platform == "py"
+
+
+class TestIdStrategies:
+    @pytest.mark.parametrize("strategy", ["central", "contingent", "modulo"])
+    def test_unique_ids(self, strategy):
+        cluster = build(8, id_allocation=strategy)
+        ids = [s.site_id for s in cluster.sites]
+        assert -1 not in ids
+        assert len(set(ids)) == 8
+
+    def test_contingent_block_exhaustion_triggers_refill(self):
+        # tiny blocks force ID_BLOCK_REQUEST round trips
+        cluster = build(9, id_allocation="contingent", contingent_size=2)
+        ids = [s.site_id for s in cluster.sites]
+        assert -1 not in ids
+        assert len(set(ids)) == 9
+
+    def test_modulo_ids_in_residue_classes(self):
+        cluster = build(5, id_allocation="modulo")
+        from repro.cluster.id_allocation import MODULO_STRIDE
+        for site in cluster.sites[1:]:
+            assert site.site_id % MODULO_STRIDE == 0  # all allocated by site 0
+
+
+class TestDynamicJoin:
+    def test_late_join_via_any_site(self, fast_config):
+        cluster = SimCluster(nsites=3, config=fast_config)
+        cluster.sim.run(until=0.5)
+        newcomer = cluster.add_site(via_index=2)
+        cluster.sim.run(until=1.0)
+        assert newcomer.site_id not in (-1,)
+        assert newcomer.running
+        # everyone heard about it
+        for site in cluster.sites[:3]:
+            assert newcomer.site_id in site.cluster_manager.sites
+
+
+class TestLookups:
+    def test_physical_of_dead_site_none(self):
+        cluster = build(3)
+        manager = cluster.sites[0].cluster_manager
+        victim = cluster.sites[2].site_id
+        manager.mark_dead(victim, left=False)
+        assert manager.physical_of(victim) is None
+
+    def test_effective_site_follows_heirs(self):
+        cluster = build(4)
+        manager = cluster.sites[0].cluster_manager
+        a = cluster.sites[1].site_id
+        b = cluster.sites[2].site_id
+        c = cluster.sites[3].site_id
+        manager.sites[a].alive = False
+        manager.sites[a].heir = b
+        manager.sites[b].alive = False
+        manager.sites[b].heir = c
+        assert manager.effective_site(a) == c
+
+    def test_effective_site_cycle_safe(self):
+        cluster = build(3)
+        manager = cluster.sites[0].cluster_manager
+        a = cluster.sites[1].site_id
+        b = cluster.sites[2].site_id
+        manager.sites[a].alive = False
+        manager.sites[a].heir = b
+        manager.sites[b].alive = False
+        manager.sites[b].heir = a
+        assert manager.effective_site(a) in (a, b)  # terminates
+
+    def test_pick_help_target_prefers_load(self):
+        cluster = build(4)
+        manager = cluster.sites[0].cluster_manager
+        busy = cluster.sites[2].site_id
+        manager.note_load(busy, 50.0)
+        picks = {manager.pick_help_target() for _ in range(10)}
+        assert picks == {busy}
+
+    def test_pick_help_target_excludes(self):
+        cluster = build(2)
+        manager = cluster.sites[0].cluster_manager
+        other = cluster.sites[1].site_id
+        assert manager.pick_help_target(exclude={other}) is None
+
+
+class TestHeartbeats:
+    def test_crash_detected_via_heartbeat_timeout(self):
+        config = SDVMConfig(cluster=ClusterConfig(
+            heartbeats_enabled=True, heartbeat_interval=0.05,
+            heartbeat_timeout=0.2))
+        cluster = SimCluster(nsites=3, config=config)
+        cluster.sim.run(until=0.5)
+        victim = cluster.sites[2]
+        victim_id = victim.site_id
+        victim.crash()
+        cluster.sim.run(until=2.0)
+        record = cluster.sites[0].cluster_manager.sites[victim_id]
+        assert not record.alive
+        assert not record.left  # crash, not orderly departure

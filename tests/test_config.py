@@ -1,0 +1,107 @@
+"""Validation tests for every configuration dataclass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CheckpointConfig,
+    ClusterConfig,
+    CostModel,
+    NetworkConfig,
+    PowerConfig,
+    SchedulingConfig,
+    SDVMConfig,
+    SecurityConfig,
+    SiteConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCostModel:
+    def test_work_seconds(self):
+        cost = CostModel(work_unit_time=1e-6)
+        assert cost.work_seconds(1_000_000, 1.0) == pytest.approx(1.0)
+        assert cost.work_seconds(1_000_000, 2.0) == pytest.approx(0.5)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel().work_seconds(1.0, 0.0)
+
+
+class TestNetworkConfig:
+    def test_defaults_valid(self):
+        NetworkConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"latency": -1.0},
+        {"bandwidth": 0.0},
+        {"udp_loss_rate": 1.0},
+        {"udp_loss_rate": -0.1},
+        {"transport": "carrier-pigeon"},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            NetworkConfig(**kwargs)
+
+
+class TestSchedulingConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"help_fanout": 0},
+        {"ready_target": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SchedulingConfig(**kwargs)
+
+
+class TestClusterConfig:
+    def test_timeout_must_exceed_interval(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+
+    def test_contingent_size(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(contingent_size=0)
+
+
+class TestSiteConfig:
+    def test_service_only_site_allowed(self):
+        assert SiteConfig(max_parallel=0).max_parallel == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"speed": 0.0},
+        {"speed": -1.0},
+        {"max_parallel": -1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SiteConfig(**kwargs)
+
+
+class TestPowerConfig:
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(sleep_after=-1.0)
+        with pytest.raises(ConfigError):
+            PowerConfig(idle_watts=-5.0)
+
+
+class TestSDVMConfig:
+    def test_with_replaces_top_level(self):
+        config = SDVMConfig()
+        replaced = config.with_(seed=42)
+        assert replaced.seed == 42
+        assert config.seed == 0  # original untouched
+        assert replaced.cost is config.cost
+
+    def test_nested_configs_frozen(self):
+        config = SDVMConfig()
+        with pytest.raises(AttributeError):
+            config.network.latency = 1.0  # type: ignore[misc]
+
+
+class TestSecurityAndCheckpoint:
+    def test_defaults(self):
+        assert not SecurityConfig().enabled
+        assert not CheckpointConfig().enabled

@@ -1,0 +1,113 @@
+"""Tests for the processor-sharing CPU model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SDVMError
+from repro.sim.engine import Simulator
+from repro.site.kernel import CpuModel
+
+
+@pytest.fixture
+def cpu(sim):
+    return CpuModel(sim, speed=1.0)
+
+
+class TestSingleJob:
+    def test_completes_after_cost(self, sim, cpu):
+        done = []
+        cpu.run(2.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_zero_cost_fires_immediately(self, sim, cpu):
+        done = []
+        cpu.run(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_rejected(self, cpu):
+        with pytest.raises(SDVMError):
+            cpu.run(-1.0, lambda: None)
+
+    def test_busy_accounting(self, sim, cpu):
+        cpu.run(3.0, lambda: None, overhead=False)
+        sim.run()
+        assert cpu.busy_total == pytest.approx(3.0)
+        assert cpu.overhead_total == pytest.approx(0.0)
+
+    def test_overhead_accounting(self, sim, cpu):
+        cpu.charge(1.0, overhead=True)
+        sim.run()
+        assert cpu.overhead_total == pytest.approx(1.0)
+
+
+class TestSharing:
+    def test_two_equal_jobs_share(self, sim, cpu):
+        """Two 1-second jobs admitted together both finish at t=2."""
+        done = []
+        cpu.run(1.0, lambda: done.append(("a", sim.now)))
+        cpu.run(1.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done[0][1] == pytest.approx(2.0)
+        assert done[1][1] == pytest.approx(2.0)
+        # admission order breaks the tie
+        assert [name for name, _t in done] == ["a", "b"]
+
+    def test_short_job_not_stuck_behind_long(self, sim, cpu):
+        """A tiny job alongside a huge one finishes in ~2x its own time —
+        the property that keeps critical-path microthreads responsive."""
+        done = []
+        cpu.run(100.0, lambda: done.append(("long", sim.now)))
+        cpu.run(0.001, lambda: done.append(("short", sim.now)))
+        sim.run()
+        assert done[0][0] == "short"
+        assert done[0][1] == pytest.approx(0.002, rel=1e-6)
+        assert done[1][1] == pytest.approx(100.001, rel=1e-6)
+
+    def test_staggered_admission(self, sim, cpu):
+        """Job B admitted halfway through A: A has 0.5 left, shares with B
+        (1.0): A finishes at 1.5, B at 2.0."""
+        done = []
+        cpu.run(1.0, lambda: done.append(("a", sim.now)))
+        sim.schedule(0.5, lambda: cpu.run(
+            1.0, lambda: done.append(("b", sim.now))))
+        sim.run()
+        assert dict(done)["a"] == pytest.approx(1.5)
+        assert dict(done)["b"] == pytest.approx(2.0)
+
+    def test_throughput_conserved(self, sim, cpu):
+        """N jobs of total work W all complete by exactly W."""
+        done = []
+        for i in range(10):
+            cpu.run(0.5, lambda i=i: done.append(sim.now))
+        sim.run()
+        assert max(done) == pytest.approx(5.0)
+        assert cpu.busy_total == pytest.approx(5.0)
+
+    def test_utilization(self, sim, cpu):
+        cpu.run(1.0, lambda: None)
+        sim.run(until=4.0)
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_active_jobs(self, sim, cpu):
+        cpu.run(1.0, lambda: None)
+        cpu.run(1.0, lambda: None)
+        assert cpu.active_jobs == 2
+        sim.run()
+        assert cpu.active_jobs == 0
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator(seed=1)
+            cpu = CpuModel(sim, 1.0)
+            done = []
+            for i in range(20):
+                sim.schedule(i * 0.1, lambda i=i: cpu.run(
+                    0.3 + (i % 3) * 0.2, lambda i=i: done.append(
+                        (i, round(sim.now, 12)))))
+            sim.run()
+            return done
+
+        assert run_once() == run_once()

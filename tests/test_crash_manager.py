@@ -1,0 +1,125 @@
+"""Focused tests for the crash manager: checkpoint waves, coordinator
+selection, rollback mechanics, and epoch fencing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CheckpointConfig,
+    ClusterConfig,
+    CostModel,
+    SchedulingConfig,
+    SDVMConfig,
+)
+from repro.apps import build_primes_program, first_n_primes
+from repro.site.simcluster import SimCluster
+
+
+def config(ckpt_interval=0.1, heartbeats=True):
+    return SDVMConfig(
+        cost=CostModel(compile_fixed_cost=1e-4),
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+        cluster=ClusterConfig(heartbeats_enabled=heartbeats,
+                              heartbeat_interval=0.03,
+                              heartbeat_timeout=0.12),
+        checkpoint=CheckpointConfig(enabled=True, interval=ckpt_interval),
+    )
+
+
+class TestCheckpointWaves:
+    def test_coordinator_is_lowest_alive(self):
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.sim.run(until=0.5)
+        assert cluster.sites[0].crash_manager.is_coordinator()
+        assert not cluster.sites[1].crash_manager.is_coordinator()
+        cluster.sites[0].crash()
+        cluster.sim.run(until=1.0)
+        assert cluster.sites[1].crash_manager.is_coordinator()
+
+    def test_no_waves_without_programs(self):
+        cluster = SimCluster(nsites=2, config=config())
+        cluster.sim.run(until=1.0)
+        assert cluster.sites[0].crash_manager.committed_wave == -1
+
+    def test_waves_commit_during_program(self):
+        cluster = SimCluster(nsites=3, config=config())
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 400.0, 4000.0))
+        cluster.run(progress_timeout=120.0)
+        assert handle.result == first_n_primes(40)
+        coordinator = cluster.sites[0].crash_manager
+        assert coordinator.committed_wave >= 1
+        # the committed snapshot covers every alive site
+        assert len(coordinator.committed) == 3
+
+    def test_sites_resume_after_commit(self):
+        cluster = SimCluster(nsites=2, config=config())
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 400.0, 4000.0))
+        cluster.run(progress_timeout=120.0)
+        assert handle.result == first_n_primes(40)
+        assert not any(site.paused for site in cluster.sites)
+
+    def test_checkpoint_overhead_scales_with_interval(self):
+        durations = {}
+        for interval in (0.05, 1.0):
+            cluster = SimCluster(nsites=2, config=config(interval))
+            handle = cluster.submit(build_primes_program(),
+                                    args=(40, 6, 400.0, 4000.0))
+            cluster.run(progress_timeout=120.0)
+            durations[interval] = handle.duration
+        assert durations[0.05] > durations[1.0]
+
+
+class TestRecovery:
+    def test_epoch_increments_on_recovery(self):
+        cluster = SimCluster(nsites=3, config=config())
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 800.0, 8000.0))
+        cluster.crash_site(2, at=0.5)
+        cluster.run(progress_timeout=120.0)
+        assert handle.result == first_n_primes(40)
+        assert cluster.sites[0].epoch >= 1
+
+    def test_multiple_crashes_survived(self):
+        cluster = SimCluster(nsites=4, config=config())
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 2000.0, 20000.0))
+        cluster.crash_site(3, at=0.5)
+        cluster.crash_site(2, at=1.1)
+        cluster.run(progress_timeout=180.0)
+        assert handle.result == first_n_primes(40)
+        assert cluster.sites[0].crash_manager.stats.get(
+            "recoveries").count >= 2
+
+    def test_crash_of_non_coordinator_site_detected_by_all(self):
+        cluster = SimCluster(nsites=3, config=config())
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 800.0, 8000.0))
+        victim_index = 1
+
+        def victim_logical():
+            return cluster.sites[victim_index].site_id
+
+        cluster.sim.run(until=0.4)
+        logical = victim_logical()
+        cluster.sites[victim_index].crash()
+        cluster.run(progress_timeout=180.0)
+        assert handle.result == first_n_primes(40)
+        survivors = [cluster.sites[0], cluster.sites[2]]
+        for site in survivors:
+            assert not site.cluster_manager.sites[logical].alive
+
+    def test_result_exact_despite_rollback_reexecution(self):
+        """Rollback re-executes work (at-least-once); the dataflow model
+        still yields the exact prime list, not duplicates."""
+        cluster = SimCluster(nsites=4, config=config(ckpt_interval=0.2))
+        handle = cluster.submit(build_primes_program(),
+                                args=(60, 8, 400.0, 4000.0))
+        cluster.crash_site(3, at=1.0)
+        cluster.run(progress_timeout=180.0)
+        result = handle.result
+        assert result == first_n_primes(60)
+        assert len(result) == len(set(result))

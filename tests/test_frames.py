@@ -1,0 +1,125 @@
+"""Tests for microframes — the dataflow firing rules (§3.1–3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FrameStateError
+from repro.common.ids import GlobalAddress
+from repro.core.frames import MISSING, FrameState, Microframe
+
+
+def make(nparams=2, targets=()):
+    return Microframe(GlobalAddress(1, 7), thread_id=3, program=9,
+                      nparams=nparams, targets=targets)
+
+
+class TestFiringRule:
+    def test_zero_param_frame_born_executable(self):
+        frame = make(nparams=0)
+        assert frame.state is FrameState.EXECUTABLE
+        assert frame.executable
+
+    def test_incomplete_until_last_parameter(self):
+        frame = make(nparams=3)
+        assert not frame.apply_parameter(0, "a")
+        assert not frame.apply_parameter(2, "c")
+        assert not frame.executable
+        assert frame.apply_parameter(1, "b")
+        assert frame.executable
+        assert frame.arguments() == ["a", "b", "c"]
+
+    def test_double_fill_rejected(self):
+        frame = make()
+        frame.apply_parameter(0, 1)
+        with pytest.raises(FrameStateError):
+            frame.apply_parameter(0, 2)
+
+    def test_out_of_range_slot_rejected(self):
+        frame = make(nparams=2)
+        with pytest.raises(FrameStateError):
+            frame.apply_parameter(2, "x")
+        with pytest.raises(FrameStateError):
+            frame.apply_parameter(-1, "x")
+
+    def test_arguments_before_complete_rejected(self):
+        frame = make()
+        frame.apply_parameter(0, 1)
+        with pytest.raises(FrameStateError):
+            frame.arguments()
+
+    def test_none_is_a_valid_parameter_value(self):
+        frame = make(nparams=1)
+        assert frame.apply_parameter(0, None)
+        assert frame.arguments() == [None]
+
+    def test_consume_lifecycle(self):
+        frame = make(nparams=1)
+        frame.apply_parameter(0, "v")
+        frame.consume()
+        assert frame.state is FrameState.CONSUMED
+        with pytest.raises(FrameStateError):
+            frame.consume()
+        with pytest.raises(FrameStateError):
+            frame.apply_parameter(0, "again")
+
+    def test_consume_incomplete_rejected(self):
+        with pytest.raises(FrameStateError):
+            make().consume()
+
+    def test_negative_nparams_rejected(self):
+        with pytest.raises(FrameStateError):
+            make(nparams=-1)
+
+
+class TestWire:
+    def test_roundtrip_partial(self):
+        frame = make(nparams=3, targets=[(GlobalAddress(2, 2), 1)])
+        frame.apply_parameter(1, {"nested": [1, 2]})
+        frame.priority = 5.0
+        frame.critical = True
+        clone = Microframe.from_wire(frame.to_wire())
+        assert clone.frame_id == frame.frame_id
+        assert clone.thread_id == frame.thread_id
+        assert clone.program == frame.program
+        assert clone.missing_count == 2
+        assert clone.params[1] == {"nested": [1, 2]}
+        assert clone.params[0] is MISSING
+        assert clone.targets == [(GlobalAddress(2, 2), 1)]
+        assert clone.priority == 5.0
+        assert clone.critical
+
+    def test_roundtrip_survives_codec(self):
+        from repro.serde import dumps, loads
+        frame = make(nparams=2)
+        frame.apply_parameter(0, "x")
+        clone = Microframe.from_wire(loads(dumps(frame.to_wire())))
+        assert clone.params[0] == "x"
+        assert clone.missing_count == 1
+
+    def test_malformed_wire_rejected(self):
+        from repro.common.errors import SerializationError
+        with pytest.raises(SerializationError):
+            Microframe.from_wire({"id": GlobalAddress(0, 1)})
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=8), st.randoms())
+def test_firing_exactly_once_property(nparams, rng):
+    """A frame reports executable exactly when its last slot fills,
+    regardless of fill order."""
+    frame = make(nparams=nparams)
+    slots = list(range(nparams))
+    rng.shuffle(slots)
+    fired = 0
+    for slot in slots:
+        if frame.apply_parameter(slot, slot):
+            fired += 1
+    if nparams == 0:
+        assert frame.executable
+    else:
+        assert fired == 1
+        assert frame.executable
+        assert frame.arguments() == list(range(nparams))

@@ -1,0 +1,64 @@
+"""Tests for length-prefixed stream framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.serde.framing import MAX_FRAME_SIZE, FrameDecoder, frame
+
+
+class TestFrame:
+    def test_simple_roundtrip(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame(b"hello"))) == [b"hello"]
+
+    def test_empty_payload(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame(b""))) == [b""]
+
+    def test_multiple_frames_one_feed(self):
+        decoder = FrameDecoder()
+        data = frame(b"a") + frame(b"bb") + frame(b"ccc")
+        assert list(decoder.feed(data)) == [b"a", b"bb", b"ccc"]
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        data = frame(b"payload one") + frame(b"payload two")
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i:i + 1]))
+        assert out == [b"payload one", b"payload two"]
+        assert decoder.pending_bytes == 0
+
+    def test_partial_then_rest(self):
+        decoder = FrameDecoder()
+        data = frame(b"split me")
+        assert list(decoder.feed(data[:3])) == []
+        assert decoder.pending_bytes == 3
+        assert list(decoder.feed(data[3:])) == [b"split me"]
+
+    def test_oversize_frame_rejected_on_send(self):
+        with pytest.raises(SerializationError):
+            frame(b"x" * (MAX_FRAME_SIZE + 1))
+
+    def test_oversize_length_prefix_rejected_on_receive(self):
+        decoder = FrameDecoder()
+        bad = (MAX_FRAME_SIZE + 1).to_bytes(4, "big")
+        with pytest.raises(SerializationError):
+            list(decoder.feed(bad))
+
+
+@settings(max_examples=100)
+@given(st.lists(st.binary(max_size=200), max_size=10),
+       st.integers(min_value=1, max_value=64))
+def test_chunked_reassembly_property(payloads, chunk):
+    stream = b"".join(frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i:i + chunk]))
+    assert out == payloads
+    assert decoder.pending_bytes == 0

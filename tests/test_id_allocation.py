@@ -1,0 +1,133 @@
+"""Tests for the three logical-id allocation strategies (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ClusterError
+from repro.cluster.id_allocation import (
+    MODULO_STRIDE,
+    CentralAllocator,
+    ContingentAllocator,
+    ModuloAllocator,
+    make_allocator,
+)
+
+
+class TestCentral:
+    def test_only_site_zero_allocates(self):
+        root = CentralAllocator(local_id=0)
+        other = CentralAllocator(local_id=3)
+        assert root.can_allocate()
+        assert not other.can_allocate()
+        with pytest.raises(ClusterError):
+            other.allocate()
+
+    def test_monotone_unique(self):
+        root = CentralAllocator(local_id=0)
+        ids = [root.allocate() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
+        assert 0 not in ids
+
+    def test_note_seen_skips_ahead(self):
+        root = CentralAllocator(local_id=0)
+        root.note_seen(50)
+        assert root.allocate() == 51
+
+
+class TestContingent:
+    def test_root_grants_disjoint_blocks(self):
+        root = ContingentAllocator(block_size=8)
+        root.init_as_root()
+        blocks = [root.grant_block() for _ in range(10)]
+        seen = set()
+        for low, high in blocks:
+            ids = set(range(low, high))
+            assert not ids & seen
+            seen |= ids
+
+    def test_allocate_from_block(self):
+        alloc = ContingentAllocator(block_size=4)
+        alloc.receive_block(100, 104)
+        ids = [alloc.allocate() for _ in range(4)]
+        assert ids == [100, 101, 102, 103]
+        assert not alloc.can_allocate()
+        with pytest.raises(ClusterError):
+            alloc.allocate()
+
+    def test_root_allocates_from_own_block_too(self):
+        root = ContingentAllocator(block_size=4)
+        root.init_as_root()
+        own = [root.allocate() for _ in range(4)]
+        low, high = root.grant_block()
+        assert not set(own) & set(range(low, high))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ClusterError):
+            ContingentAllocator().receive_block(5, 5)
+
+    def test_non_root_cannot_grant(self):
+        with pytest.raises(ClusterError):
+            ContingentAllocator().grant_block()
+
+    def test_remaining(self):
+        alloc = ContingentAllocator()
+        alloc.receive_block(0, 3)
+        alloc.allocate()
+        assert alloc.remaining == 2
+
+
+class TestModulo:
+    def test_emits_own_residue_class(self):
+        alloc = ModuloAllocator(local_id=5)
+        ids = [alloc.allocate() for _ in range(10)]
+        assert all(i % MODULO_STRIDE == 5 for i in ids)
+        assert len(set(ids)) == 10
+
+    def test_high_id_sites_cannot_emit(self):
+        alloc = ModuloAllocator(local_id=MODULO_STRIDE + 1)
+        assert not alloc.can_allocate()
+        with pytest.raises(ClusterError):
+            alloc.allocate()
+
+    def test_servers_never_collide(self):
+        servers = [ModuloAllocator(local_id=i) for i in range(8)]
+        ids = [srv.allocate() for srv in servers for _ in range(20)]
+        assert len(set(ids)) == len(ids)
+
+    def test_note_seen_skips_own_class(self):
+        alloc = ModuloAllocator(local_id=2)
+        alloc.note_seen(2 + 5 * MODULO_STRIDE)
+        assert alloc.allocate() == 2 + 6 * MODULO_STRIDE
+
+    def test_note_seen_ignores_other_class(self):
+        alloc = ModuloAllocator(local_id=2)
+        alloc.note_seen(3 + 5 * MODULO_STRIDE)
+        assert alloc.allocate() == 2 + MODULO_STRIDE
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("central", CentralAllocator),
+        ("contingent", ContingentAllocator),
+        ("modulo", ModuloAllocator),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_allocator(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ClusterError):
+            make_allocator("quantum")
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                max_size=50))
+def test_modulo_uniqueness_property(sequence):
+    """Any interleaving of allocations across servers stays collision-free."""
+    servers = {i: ModuloAllocator(local_id=i) for i in range(8)}
+    out = [servers[i].allocate() for i in sequence]
+    assert len(set(out)) == len(out)

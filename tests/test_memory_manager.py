@@ -1,0 +1,220 @@
+"""Unit tests for the attraction memory: result routing, buffering,
+migration accounting, relocation export/adopt, and the live protocol
+handlers driven directly through messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import MemoryFault
+from repro.common.ids import GlobalAddress, ManagerId
+from repro.core.frames import Microframe
+from repro.messages import MsgType, SDMessage
+from repro.site.simcluster import SimCluster
+
+
+@pytest.fixture
+def pair(fast_config):
+    cluster = SimCluster(nsites=2, config=fast_config)
+    cluster.sim.run(until=0.2)
+    return cluster, cluster.sites[0], cluster.sites[1]
+
+
+def register_program(site, name="t"):
+    """Minimal program so frames have an active program id."""
+    from repro.core.program import ProgramBuilder
+    prog = ProgramBuilder(name)
+
+    @prog.microthread
+    def main(ctx, a, b):
+        ctx.exit_program(a + b)
+
+    from repro.common.ids import make_program_id
+    pid = make_program_id(site.site_id, 77)
+    site.program_manager.register_local(prog.build(), pid)
+    return pid, prog.build().threads["main"].thread_id
+
+
+class TestFramesAndResults:
+    def test_zero_param_frame_goes_straight_to_scheduler(self, pair):
+        _cluster, a, _b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 0)
+        before = len(a.scheduling_manager.executable) + len(
+            a.scheduling_manager.ready)
+        a.attraction_memory.register_frame(frame)
+        after = (len(a.scheduling_manager.executable)
+                 + len(a.scheduling_manager.ready)
+                 + len(a.scheduling_manager._pending_code))
+        assert after > before or a.processing_manager.in_flight > 0
+
+    def test_local_result_completes_frame(self, pair):
+        _cluster, a, _b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        a.attraction_memory.register_frame(frame)
+        a.attraction_memory.apply_result(frame.frame_id, 0, 1, pid)
+        assert frame.missing_count == 1
+        a.attraction_memory.apply_result(frame.frame_id, 1, 2, pid)
+        assert frame.executable
+        assert frame.frame_id not in a.attraction_memory.frames
+
+    def test_remote_result_travels(self, pair):
+        cluster, a, b = pair
+        pid, tid = register_program(a)
+        cluster.sim.run(until=0.4)  # let b learn the program
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        a.attraction_memory.register_frame(frame)
+        b.attraction_memory.apply_result(frame.frame_id, 0, "x", pid)
+        cluster.sim.run(until=0.6)
+        assert frame.params[0] == "x"
+        assert b.attraction_memory.stats.get("results_sent").count == 1
+
+    def test_early_result_buffered_until_frame_registers(self, pair):
+        _cluster, a, _b = pair
+        pid, tid = register_program(a)
+        addr = a.attraction_memory.alloc_address()
+        a.attraction_memory.apply_result(addr, 0, "early", pid)
+        assert a.attraction_memory.stats.get("results_buffered").count == 1
+        frame = Microframe(addr, tid, pid, 2)
+        a.attraction_memory.register_frame(frame)
+        assert frame.params[0] == "early"
+
+    def test_result_for_terminated_program_dropped(self, pair):
+        _cluster, a, _b = pair
+        pid, _tid = register_program(a)
+        a.program_manager.get(pid).terminated = True
+        addr = a.attraction_memory.alloc_address()
+        a.attraction_memory.apply_result(addr, 0, "late", pid)
+        assert a.attraction_memory.stats.get(
+            "results_dropped_terminated").count == 1
+
+    def test_drop_program_clears_frames_and_buffers(self, pair):
+        _cluster, a, _b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        a.attraction_memory.register_frame(frame)
+        a.attraction_memory.apply_result(
+            a.attraction_memory.alloc_address(), 0, 1, pid)
+        a.attraction_memory.drop_program(pid)
+        assert not a.attraction_memory.frames
+        assert not a.attraction_memory._pending_results
+
+
+class TestObjects:
+    def test_alloc_and_local_read(self, pair):
+        _cluster, a, _b = pair
+        addr = a.attraction_memory.alloc_object({"k": 1})
+        value, latency = a.attraction_memory.sim_read(addr)
+        assert value == {"k": 1}
+        assert latency == 0.0
+
+    def test_remote_read_migrates_and_charges_latency(self, pair):
+        _cluster, a, b = pair
+        addr = a.attraction_memory.alloc_object([1, 2, 3])
+        value, latency = b.attraction_memory.sim_read(addr)
+        assert value == [1, 2, 3]
+        assert latency > 0.0
+        # ownership moved to b; homesite directory at a updated
+        assert addr in b.attraction_memory.objects
+        assert addr not in a.attraction_memory.objects
+        assert a.attraction_memory.home_dir[addr] == b.site_id
+        # second read is local
+        _value, second = b.attraction_memory.sim_read(addr)
+        assert second == 0.0
+
+    def test_unknown_address_faults(self, pair):
+        _cluster, a, _b = pair
+        with pytest.raises(MemoryFault):
+            a.attraction_memory.sim_read(GlobalAddress(0, 987654))
+
+    def test_write_migrates_ownership(self, pair):
+        _cluster, a, b = pair
+        addr = a.attraction_memory.alloc_object(1)
+        latency = b.attraction_memory.sim_write(addr, 2)
+        assert latency > 0.0
+        assert b.attraction_memory.objects[addr] == 2
+        value, _lat = b.attraction_memory.sim_read(addr)
+        assert value == 2
+
+
+class TestLiveProtocolHandlers:
+    """Drive the MEM_READ message protocol inside the sim harness."""
+
+    def test_mem_read_serves_and_migrates(self, pair):
+        cluster, a, b = pair
+        addr = a.attraction_memory.alloc_object("payload")
+        got = []
+        b.attraction_memory.live_read(addr, lambda v, e=None: got.append((v, e)))
+        cluster.sim.run(until=0.5)
+        assert got == [("payload", None)]
+        # b adopted ownership, a's homesite directory points at b
+        assert addr in b.attraction_memory.objects
+        assert a.attraction_memory.home_dir[addr] == b.site_id
+
+    def test_mem_read_redirect_chain(self, pair):
+        cluster, a, b = pair
+        addr = a.attraction_memory.alloc_object("wander")
+        # move it to b first
+        b.attraction_memory.live_read(addr, lambda v, e=None: None)
+        cluster.sim.run(until=0.4)
+        # now ask a (the homesite, no longer the owner): expect a redirect
+        got = []
+        a.attraction_memory.live_read(addr, lambda v, e=None: got.append(v))
+        cluster.sim.run(until=0.8)
+        assert got == ["wander"]
+
+    def test_mem_read_not_found(self, pair):
+        cluster, a, b = pair
+        got = []
+        b.attraction_memory.live_read(
+            GlobalAddress(a.site_id, 424242),
+            lambda v, e=None: got.append(type(e).__name__ if e else v))
+        cluster.sim.run(until=0.5)
+        assert got == ["MemoryFault"]
+
+    def test_frame_transfer_message(self, pair):
+        cluster, a, b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        frame.apply_parameter(0, 5)
+        msg = SDMessage(
+            type=MsgType.FRAME_TRANSFER,
+            src_site=a.site_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=b.site_id, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            program=pid,
+            payload={"frame": frame.to_wire(),
+                     "program_info": a.program_manager.get(pid).to_wire()},
+        )
+        a.message_manager.send(msg)
+        cluster.sim.run(until=0.5)
+        assert b.attraction_memory.stats.get("frames_adopted").count == 1
+        assert b.program_manager.knows(pid)
+
+
+class TestRelocation:
+    def test_export_adopt_roundtrip(self, pair):
+        cluster, a, b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        frame.apply_parameter(1, "kept")
+        a.attraction_memory.register_frame(frame)
+        obj = a.attraction_memory.alloc_object([9])
+        state = a.attraction_memory.export_state()
+        # codec-roundtrip the state like the real relocation message does
+        from repro.serde import dumps, loads
+        state = loads(dumps(state))
+        b.attraction_memory.adopt_state(state)
+        assert obj in b.attraction_memory.objects
+        adopted = b.attraction_memory.frames[frame.frame_id]
+        assert adopted.params[1] == "kept"
+
+    def test_export_checkpoint_is_nondraining(self, pair):
+        _cluster, a, _b = pair
+        pid, tid = register_program(a)
+        frame = Microframe(a.attraction_memory.alloc_address(), tid, pid, 2)
+        a.attraction_memory.register_frame(frame)
+        snapshot = a.attraction_memory.export_checkpoint()
+        assert frame.frame_id in a.attraction_memory.frames  # still there
+        assert len(snapshot["frames"]) >= 1

@@ -1,0 +1,225 @@
+"""Unit tests for the processing manager, I/O manager, and program manager
+driven through the simulation facade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.ids import FileHandle, make_program_id, program_origin_site
+from repro.core.program import ProgramBuilder
+from repro.site.simcluster import SimCluster
+
+
+def simple_program(name="p"):
+    prog = ProgramBuilder(name)
+
+    @prog.microthread
+    def main(ctx, x):
+        ctx.charge(10)
+        ctx.exit_program(x)
+
+    return prog.build()
+
+
+class TestProgramIds:
+    def test_program_id_embeds_origin(self):
+        pid = make_program_id(5, 3)
+        assert program_origin_site(pid) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_program_id(-1, 0)
+
+
+class TestProgramManager:
+    def test_register_and_broadcast(self, fast_config):
+        cluster = SimCluster(nsites=3, config=fast_config)
+        cluster.sim.run(until=0.2)
+        site = cluster.sites[0]
+        pid = site.submit_program(simple_program(), args=(1,))
+        cluster.sim.run(until=0.4)
+        for other in cluster.sites[1:]:
+            assert other.program_manager.knows(pid)
+            info = other.program_manager.get(pid)
+            assert info.code_home == site.site_id
+            assert info.frontend == site.site_id
+
+    def test_termination_propagates(self, fast_config):
+        cluster = SimCluster(nsites=3, config=fast_config)
+        handle = cluster.submit(simple_program(), args=(7,), at=0.01)
+        cluster.run()
+        assert handle.result == 7
+        # run() stops the instant the frontend has the result; give the
+        # PROGRAM_TERMINATED broadcast time to land everywhere
+        cluster.sim.run(until=cluster.sim.now + 0.5)
+        for site in cluster.sites:
+            assert site.program_manager.get(handle.pid).terminated
+
+    def test_accounting_records_work(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(simple_program(), args=(1,))
+        cluster.run()
+        info = cluster.sites[0].program_manager.get(handle.pid)
+        assert info.executions == 1
+        assert info.work_charged == 10.0
+        assert info.finished_at > info.started_at >= 0.0
+
+    def test_unknown_program_rejected(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        with pytest.raises(ProgramError):
+            cluster.sites[0].program_manager.get(999999)
+
+    def test_double_register_rejected(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        site = cluster.sites[0]
+        pid = make_program_id(site.site_id, 50)
+        site.program_manager.register_local(simple_program("a"), pid)
+        with pytest.raises(ProgramError):
+            site.program_manager.register_local(simple_program("b"), pid)
+
+    def test_wire_roundtrip(self, fast_config):
+        from repro.program.manager import ProgramInfo
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        site = cluster.sites[0]
+        pid = make_program_id(site.site_id, 51)
+        info = site.program_manager.register_local(simple_program(), pid)
+        clone = ProgramInfo.from_wire(info.to_wire())
+        assert clone.pid == info.pid
+        assert clone.thread_table() == info.thread_table()
+
+
+class TestProcessing:
+    def test_entry_args_mismatch_rejected(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        with pytest.raises(ProgramError):
+            cluster.sites[0].submit_program(simple_program(), args=(1, 2))
+
+    def test_work_accounting(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(simple_program(), args=(1,))
+        cluster.run()
+        pm = cluster.sites[0].processing_manager
+        assert pm.work_done == 10.0
+        assert pm.stats.get("executions").count == 1
+        assert pm.in_flight == 0
+
+    def test_cpu_busy_matches_charged_work(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(simple_program(), args=(1,))
+        cluster.run()
+        cpu = cluster.sites[0].kernel.cpu
+        compute = cpu.busy_total - cpu.overhead_total
+        expected = 10.0 * fast_config.cost.work_unit_time
+        assert compute == pytest.approx(expected)
+
+    def test_speed_scales_compute_time(self, fast_config):
+        from repro.common.config import SiteConfig
+        durations = {}
+        for speed in (1.0, 4.0):
+            cluster = SimCluster(
+                site_configs=[SiteConfig(speed=speed)], config=fast_config)
+            prog = ProgramBuilder("work")
+
+            @prog.microthread
+            def main(ctx):
+                ctx.charge(1_000_000)
+                ctx.exit_program(0)
+
+            handle = cluster.submit(prog.build())
+            cluster.run()
+            durations[speed] = handle.duration
+        # 4x speed is ~4x faster on the compute-dominated run
+        assert durations[1.0] / durations[4.0] == pytest.approx(4.0,
+                                                                rel=0.05)
+
+
+class TestIOManager:
+    def test_file_modes_enforced(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        io = cluster.sites[0].io_manager
+        with pytest.raises(ProgramError):
+            io.sim_open("missing.txt", "r")
+        handle, _lat = io.sim_open("new.txt", "w")
+        with pytest.raises(ProgramError):
+            io.sim_read(handle, -1)  # write-only
+        io.sim_close(handle)
+        with pytest.raises(ProgramError):
+            io.sim_open("x", "x+")
+
+    def test_append_mode(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        io = cluster.sites[0].io_manager
+        h1, _ = io.sim_open("log", "w")
+        io.sim_write(h1, b"first")
+        io.sim_close(h1)
+        h2, _ = io.sim_open("log", "a")
+        io.sim_write(h2, b"|second")
+        io.sim_close(h2)
+        h3, _ = io.sim_open("log", "r")
+        data, _ = io.sim_read(h3, -1)
+        assert data == b"first|second"
+
+    def test_stale_handle_rejected(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.1)
+        io = cluster.sites[0].io_manager
+        with pytest.raises(ProgramError):
+            io.sim_read(FileHandle(cluster.sites[0].site_id, 999), 1)
+
+    def test_input_without_provider_fails_program(self, fast_config):
+        prog = ProgramBuilder("ask")
+
+        @prog.microthread(creates=("sink",))
+        def main(ctx):
+            sink = ctx.create_frame("sink")
+            ctx.request_input("?", sink, 0)
+
+        @prog.microthread
+        def sink(ctx, v):
+            ctx.exit_program(v)
+
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.submit(prog.build())
+        from repro.common.errors import SDVMError
+        with pytest.raises((ProgramError, SDVMError)):
+            cluster.run()
+
+    def test_output_order_preserved(self, fast_config):
+        prog = ProgramBuilder("seq")
+
+        @prog.microthread
+        def main(ctx):
+            for i in range(5):
+                ctx.output(f"line {i}")
+            ctx.exit_program(None)
+
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(prog.build())
+        cluster.run()
+        assert handle.output() == [f"line {i}" for i in range(5)]
+
+
+class TestSiteManagerStatus:
+    def test_full_status_covers_all_managers(self, fast_config):
+        cluster = SimCluster(nsites=2, config=fast_config)
+        cluster.sim.run(until=0.2)
+        status = cluster.sites[0].site_manager.full_status()
+        assert status["site_id"] == 0
+        assert status["load"] == 0.0
+        for name in ("processing", "scheduling", "code",
+                     "attraction_memory", "io", "message", "cluster",
+                     "program", "site", "security", "crash"):
+            assert name in status["managers"], name
+
+    def test_load_reflects_queue(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(simple_program(), args=(1,))
+        cluster.run()
+        assert cluster.sites[0].site_manager.current_load() == 0.0

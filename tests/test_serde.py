@@ -1,0 +1,175 @@
+"""Unit + property tests for the wire codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.ids import FileHandle, GlobalAddress
+from repro.serde import dumps, encoded_size, loads
+from repro.serde.codec import read_uvarint, write_uvarint
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 127, 128, -128, 2**62, -(2**62),
+        2**63 - 1, -(2**63), 2**100, -(2**100), 0.0, -0.0, 1.5, -1.5,
+        float("inf"), float("-inf"), 1e-300, "", "ascii", "üñïçödé",
+        "line\nbreak", b"", b"\x00\xff" * 10,
+    ])
+    def test_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_nan_roundtrip(self):
+        result = loads(dumps(float("nan")))
+        assert math.isnan(result)
+
+    def test_bool_is_not_int(self):
+        assert loads(dumps(True)) is True
+        assert loads(dumps(1)) == 1
+        assert not isinstance(loads(dumps(1)), bool)
+
+    def test_big_int_precision(self):
+        value = 12345678901234567890123456789012345678901234567890
+        assert loads(dumps(value)) == value
+        assert loads(dumps(-value)) == -value
+
+
+class TestContainers:
+    @pytest.mark.parametrize("value", [
+        [], [1, 2, 3], [1, [2, [3, [4]]]], (), (1, "a"), ((),),
+        {}, {"a": 1}, {1: "x", "y": 2}, {(1, 2): [3, 4]},
+        set(), {1, 2, 3}, frozenset({1}) and {1},
+        [None, True, 1.5, "s", b"b", (1,), {2: 3}, {4}],
+    ])
+    def test_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_tuple_list_distinct(self):
+        assert loads(dumps((1, 2))) == (1, 2)
+        assert loads(dumps([1, 2])) == [1, 2]
+        assert isinstance(loads(dumps((1, 2))), tuple)
+        assert isinstance(loads(dumps([1, 2])), list)
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(loads(dumps(value))) == ["z", "a", "m"]
+
+    def test_set_encoding_deterministic(self):
+        assert dumps({3, 1, 2}) == dumps({2, 3, 1})
+
+
+class TestDomainTypes:
+    def test_global_address(self):
+        addr = GlobalAddress(17, 123456)
+        assert loads(dumps(addr)) == addr
+
+    def test_file_handle(self):
+        handle = FileHandle(3, 99)
+        assert loads(dumps(handle)) == handle
+
+    def test_nested_addresses(self):
+        value = {"chain": [GlobalAddress(0, 1), GlobalAddress(2, 3)],
+                 "fh": FileHandle(1, 1)}
+        assert loads(dumps(value)) == value
+
+
+class TestErrors:
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+    def test_function_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(lambda: None)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            loads(dumps(1) + b"x")
+
+    def test_truncated_rejected(self):
+        data = dumps("hello world")
+        with pytest.raises(SerializationError):
+            loads(data[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SerializationError):
+            loads(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            loads(b"\x7f")
+
+    def test_bad_utf8_rejected(self):
+        with pytest.raises(SerializationError):
+            loads(b"S\x02\xff\xfe")
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, pos = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_varint(self):
+        with pytest.raises(SerializationError):
+            read_uvarint(b"\x80", 0)
+
+
+def test_encoded_size_matches():
+    value = {"key": [1, 2, 3], "other": "text"}
+    assert encoded_size(value) == len(dumps(value))
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trips
+
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40)
+    | st.builds(GlobalAddress,
+                st.integers(min_value=0, max_value=2**20),
+                st.integers(min_value=0, max_value=2**30))
+    | st.builds(FileHandle,
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=1000)),
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.tuples(children, children)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200)
+@given(wire_values)
+def test_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+@settings(max_examples=100)
+@given(wire_values)
+def test_encoding_deterministic_property(value):
+    assert dumps(value) == dumps(value)
+
+
+@settings(max_examples=100)
+@given(st.integers())
+def test_int_roundtrip_property(value):
+    assert loads(dumps(value)) == value

@@ -1,0 +1,124 @@
+"""Tests for the SimCluster facade itself: handles, scripting, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SiteConfig
+from repro.common.errors import SDVMError
+from repro.core.program import ProgramBuilder
+from repro.net.topology import Topology
+from repro.site.simcluster import SimCluster
+
+
+def trivial(result=1):
+    prog = ProgramBuilder("trivial")
+
+    @prog.microthread
+    def main(ctx):
+        ctx.charge(100)
+        ctx.exit_program(None)
+
+    return prog.build()
+
+
+class TestConstruction:
+    def test_zero_sites_rejected(self):
+        with pytest.raises(SDVMError):
+            SimCluster(nsites=0)
+
+    def test_site_configs_override_nsites(self, fast_config):
+        cluster = SimCluster(site_configs=[SiteConfig(), SiteConfig(),
+                                           SiteConfig()],
+                             config=fast_config)
+        assert len(cluster.sites) == 3
+
+    def test_custom_topology(self, fast_config):
+        cluster = SimCluster(nsites=4, config=fast_config,
+                             topology=Topology.ring(4))
+        handle = cluster.submit(trivial())
+        cluster.run()
+        assert handle.done
+
+    def test_site_lookup(self, fast_config):
+        cluster = SimCluster(nsites=2, config=fast_config)
+        cluster.sim.run(until=0.2)
+        logical = cluster.sites[1].site_id
+        assert cluster.site_by_logical(logical) is cluster.sites[1]
+        assert cluster.site_by_index(0) is cluster.sites[0]
+        with pytest.raises(SDVMError):
+            cluster.site_by_logical(12345)
+
+
+class TestHandles:
+    def test_duration_before_done_rejected(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(trivial())
+        with pytest.raises(SDVMError):
+            _ = handle.duration
+
+    def test_submit_to_departed_site_rejected(self, fast_config):
+        cluster = SimCluster(nsites=2, config=fast_config)
+        cluster.sim.run(until=0.2)
+        cluster.sites[1].sign_off()
+        cluster.sim.run(until=0.5)
+        cluster.submit(trivial(), site_index=1)
+        with pytest.raises(SDVMError, match="left the cluster"):
+            cluster.run()
+
+    def test_run_until_returns_early(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        prog = ProgramBuilder("slow")
+
+        @prog.microthread
+        def main(ctx):
+            ctx.charge(10_000_000)  # 10 virtual seconds
+            ctx.exit_program(0)
+
+        handle = cluster.submit(prog.build())
+        cluster.run(until=1.0)
+        assert not handle.done
+        cluster.run()
+        assert handle.done
+
+    def test_failed_program_not_raised_when_disabled(self, fast_config):
+        prog = ProgramBuilder("boom")
+
+        @prog.microthread
+        def main(ctx):
+            raise RuntimeError("nope")
+
+        cluster = SimCluster(nsites=1, config=fast_config)
+        handle = cluster.submit(prog.build())
+        cluster.run(raise_on_failure=False)
+        assert handle.failed
+        assert "nope" in handle.failure
+
+
+class TestReports:
+    def test_cpu_report(self, fast_config):
+        cluster = SimCluster(nsites=2, config=fast_config)
+        cluster.submit(trivial())
+        cluster.run()
+        report = cluster.cpu_report()
+        assert set(report) == {0, 1}
+        assert report[0]["busy"] > 0
+        assert report[0]["busy"] == pytest.approx(
+            report[0]["overhead"] + report[0]["compute"])
+
+    def test_total_stats_merges_everything(self, fast_config):
+        cluster = SimCluster(nsites=2, config=fast_config)
+        cluster.submit(trivial())
+        cluster.run()
+        stats = cluster.total_stats()
+        assert stats.get("executions").count == 1
+        assert stats.get("sent").count > 0
+
+    def test_energy_report_all_sites(self, fast_config):
+        cluster = SimCluster(nsites=3, config=fast_config)
+        cluster.submit(trivial())
+        cluster.run()
+        report = cluster.energy_report()
+        assert set(report) == {0, 1, 2}
+        for entry in report.values():
+            assert entry["joules"] >= 0

@@ -1,0 +1,118 @@
+"""Tests for the statistics primitives and the sim resource."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.stats import Counter, StatSet, Timer
+from repro.sim.engine import SimulationError
+from repro.sim.resource import SimResource
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter()
+        c.add(2.0)
+        c.add(4.0)
+        assert c.count == 2
+        assert c.total == 6.0
+        assert c.mean == 3.0
+
+    def test_empty_mean(self):
+        assert Counter().mean == 0.0
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add(1.0)
+        b.add(2.0)
+        a.merge(b)
+        assert a.count == 2 and a.total == 3.0
+
+
+class TestStatSet:
+    def test_autovivify(self):
+        s = StatSet()
+        s.inc("x")
+        s.add("y", 5.0)
+        assert s["x"].count == 1
+        assert s["y"].total == 5.0
+
+    def test_get_does_not_create(self):
+        s = StatSet()
+        assert s.get("nothing").count == 0
+        assert "nothing" not in s.as_dict()
+
+    def test_merge(self):
+        a, b = StatSet(), StatSet()
+        a.inc("x")
+        b.inc("x")
+        b.inc("y")
+        a.merge(b)
+        assert a["x"].count == 2
+        assert a["y"].count == 1
+
+    def test_items_sorted(self):
+        s = StatSet()
+        s.inc("zebra")
+        s.inc("alpha")
+        assert [k for k, _ in s.items()] == ["alpha", "zebra"]
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        t.start(1.0)
+        assert t.running
+        assert t.stop(3.0) == 2.0
+        t.start(5.0)
+        t.stop(6.0)
+        assert t.busy == 3.0
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start(0.0)
+        with pytest.raises(RuntimeError):
+            t.start(1.0)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop(1.0)
+
+    def test_backwards_clock_rejected(self):
+        t = Timer()
+        t.start(5.0)
+        with pytest.raises(ValueError):
+            t.stop(1.0)
+
+
+class TestSimResource:
+    def test_capacity_respected(self, sim):
+        res = SimResource(sim, capacity=2)
+        order = []
+        for i in range(4):
+            res.acquire(lambda i=i: order.append(i))
+        assert order == [0, 1]
+        assert res.queued == 2
+        res.release()
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_release_without_acquire(self, sim):
+        res = SimResource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_fifo_wakeup(self, sim):
+        res = SimResource(sim, capacity=1)
+        order = []
+        for i in range(3):
+            res.acquire(lambda i=i: order.append(i))
+        res.release()
+        sim.run()
+        res.release()
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            SimResource(sim, capacity=0)

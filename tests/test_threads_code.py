@@ -1,0 +1,96 @@
+"""Tests for microthread source/binary compilation (§3.4 code path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CodeError
+from repro.core.threads import (
+    CompiledMicrothread,
+    MicrothreadSource,
+    binary_from_compiled,
+    compile_microthread,
+    compiled_from_binary,
+)
+
+GOOD_SOURCE = """\
+def adder(ctx, a, b):
+    def double(x):
+        return x * 2
+    ctx.charge(1)
+    return double(a) + b
+"""
+
+
+def src(source=GOOD_SOURCE, name="adder", nparams=2):
+    return MicrothreadSource(thread_id=1, name=name, program=5,
+                             source=source, nparams=nparams)
+
+
+class FakeCtx:
+    def charge(self, units):
+        pass
+
+
+class TestCompile:
+    def test_compile_and_run(self):
+        compiled = compile_microthread(src(), "linux-x64")
+        assert compiled.platform == "linux-x64"
+        assert compiled.entry(FakeCtx(), 3, 4) == 10
+        assert compiled.binary_size > 0
+        assert compiled.source is not None
+
+    def test_syntax_error_raises_code_error(self):
+        with pytest.raises(CodeError):
+            compile_microthread(src(source="def broken(:\n"), "p")
+
+    def test_missing_function_rejected(self):
+        with pytest.raises(CodeError):
+            compile_microthread(src(source="x = 1\n"), "p")
+
+    def test_wrong_name_rejected(self):
+        with pytest.raises(CodeError):
+            compile_microthread(src(name="other"), "p")
+
+    def test_restricted_builtins(self):
+        evil = "def adder(ctx, a, b):\n    return open('/etc/passwd')\n"
+        compiled = compile_microthread(src(source=evil), "p")
+        with pytest.raises(Exception):
+            compiled.entry(FakeCtx(), 1, 2)
+
+    def test_import_at_load_time_fails(self):
+        source = "import os\ndef adder(ctx, a, b):\n    return 1\n"
+        with pytest.raises(CodeError):
+            compile_microthread(src(source=source), "p")
+
+
+class TestBinary:
+    def test_binary_roundtrip(self):
+        compiled = compile_microthread(src(), "platform-a")
+        blob = binary_from_compiled(compiled)
+        clone = compiled_from_binary(blob, src(), "platform-a")
+        assert clone.entry(FakeCtx(), 5, 6) == 16
+        assert clone.binary_size == len(blob)
+
+    def test_corrupt_binary_rejected(self):
+        with pytest.raises(CodeError):
+            compiled_from_binary(b"garbage", src(), "p")
+
+    def test_non_code_marshal_rejected(self):
+        import marshal
+        with pytest.raises(CodeError):
+            compiled_from_binary(marshal.dumps([1, 2, 3]), src(), "p")
+
+
+class TestWire:
+    def test_source_roundtrip(self):
+        source = src()
+        clone = MicrothreadSource.from_wire(source.to_wire())
+        assert clone == source
+
+    def test_source_size(self):
+        assert src().source_size() == len(GOOD_SOURCE.encode())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CodeError):
+            MicrothreadSource.from_wire({"name": "x"})

@@ -1,0 +1,88 @@
+"""Tests for the journal + timeline tooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_primes_program, first_n_primes
+from repro.trace import Timeline, TraceEvent
+from repro.site.simcluster import SimCluster
+
+
+@pytest.fixture
+def traced_cluster(fast_config):
+    config = fast_config.with_(journal=True)
+    cluster = SimCluster(nsites=3, config=config)
+    handle = cluster.submit(build_primes_program(),
+                            args=(25, 6, 400.0, 4000.0))
+    cluster.run(progress_timeout=120.0)
+    assert handle.result == first_n_primes(25)
+    return cluster
+
+
+class TestJournal:
+    def test_disabled_by_default(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.submit(build_primes_program(), args=(5, 2, 100.0, 1000.0))
+        cluster.run(progress_timeout=60.0)
+        assert cluster.sites[0].journal == []
+
+    def test_events_recorded(self, traced_cluster):
+        journal = traced_cluster.sites[0].journal
+        kinds = {kind for _t, kind, _d in journal}
+        assert "exec_start" in kinds
+        assert "exec_end" in kinds
+
+    def test_start_end_balanced(self, traced_cluster):
+        """Ends may trail starts by at most the in-flight executions the
+        simulation stopped on (the run halts the instant the result lands)."""
+        for site in traced_cluster.sites:
+            starts = sum(1 for _t, k, _d in site.journal
+                         if k == "exec_start")
+            ends = sum(1 for _t, k, _d in site.journal if k == "exec_end")
+            slack = site.site_config.max_parallel + 2
+            assert ends <= starts <= ends + slack
+
+
+class TestTimeline:
+    def test_busy_fractions_sane(self, traced_cluster):
+        timeline = Timeline.from_cluster(traced_cluster)
+        fractions = [timeline.busy_fraction(i) for i in timeline.sites()]
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        assert max(fractions) > 0.3  # somebody actually worked
+
+    def test_steals_visible(self, traced_cluster):
+        timeline = Timeline.from_cluster(traced_cluster)
+        assert len(timeline.steals()) > 0
+
+    def test_render_shape(self, traced_cluster):
+        timeline = Timeline.from_cluster(traced_cluster)
+        art = timeline.render(width=40)
+        lines = art.splitlines()
+        assert len(lines) == 1 + len(timeline.sites())
+        assert all("|" in line for line in lines[1:])
+        assert "#" in art
+
+    def test_summary_counts_match_stats(self, traced_cluster):
+        timeline = Timeline.from_cluster(traced_cluster)
+        summary = timeline.summary()
+        total_execs = sum(
+            s.processing_manager.stats.get("executions").count
+            for s in traced_cluster.sites)
+        # sum the executions column back out of the text
+        parsed = sum(int(line.split()[2])
+                     for line in summary.splitlines()[1:])
+        assert parsed == total_execs
+
+    def test_empty_timeline(self):
+        timeline = Timeline([], horizon=1.0)
+        assert "no journal events" in timeline.render()
+
+    def test_interval_merge(self):
+        merged = Timeline._merge([(0.0, 1.0), (0.5, 2.0), (3.0, 4.0)])
+        assert merged == [(0.0, 2.0), (3.0, 4.0)]
+
+    def test_open_interval_runs_to_horizon(self):
+        events = [TraceEvent(0.5, 0, "exec_start", {"frame": 1})]
+        timeline = Timeline(events, horizon=2.0)
+        assert timeline.busy_fraction(0) == pytest.approx(0.75)
