@@ -14,10 +14,16 @@ request/reply-correlated, so pure reordering is survivable; loss is not).
 
 from __future__ import annotations
 
+import socket
+import threading
+import time
+
 from repro.apps import build_primes_program, first_n_primes
 from repro.bench import calibrated_test_params, render_table
 from repro.bench.harness import bench_config
-from repro.common.config import NetworkConfig
+from repro.common.config import LiveTransportConfig, NetworkConfig
+from repro.net.tcp import TcpTransport
+from repro.serde.framing import frame
 from repro.site.simcluster import SimCluster
 
 from bench_util import write_result
@@ -88,3 +94,139 @@ def test_transports(benchmark):
     assert not results["udp (1% loss)"]["completed"]
     benchmark.extra_info["ttcp_speedup_vs_tcp"] = round(
         results["tcp"]["duration"] / results["ttcp"]["duration"], 3)
+
+
+# ----------------------------------------------------------------------
+# live runtime: queued-writer reliability layer vs the old direct path
+
+
+FRAMES, PAYLOAD = 5000, 256
+PINGS = 200
+
+
+class _DirectSender:
+    """The pre-reliability send path: one cached socket, ``sendall``
+    called inline on the caller's thread (no queue, no retry — and no
+    write serialization, so only safe single-threaded)."""
+
+    def __init__(self, dst: str) -> None:
+        host, _, port = dst.rpartition(":")
+        self.sock = socket.create_connection((host, int(port)))
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(frame(data))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _CountingSink:
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.count = 0
+        self.done = threading.Event()
+
+    def __call__(self, data: bytes) -> None:
+        self.count += 1
+        if self.count >= self.target:
+            self.done.set()
+
+    def rearm(self, target: int) -> None:
+        self.count, self.target = 0, target
+        self.done.clear()
+
+
+def _throughput(send, sink: _CountingSink, threads: int) -> float:
+    """Wall time to deliver FRAMES frames of PAYLOAD bytes end to end."""
+    sink.rearm(FRAMES)
+    payload = b"x" * PAYLOAD
+    per_thread = FRAMES // threads
+
+    def pump() -> None:
+        for _ in range(per_thread):
+            send(payload)
+
+    start = time.perf_counter()
+    if threads == 1:
+        pump()
+    else:
+        workers = [threading.Thread(target=pump) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+    assert sink.done.wait(60.0), "receiver starved"
+    return time.perf_counter() - start
+
+
+def _latency(send, sink: _CountingSink) -> float:
+    """Mean one-way send-to-receiver-callback time, unloaded queue."""
+    total = 0.0
+    for i in range(PINGS):
+        sink.rearm(1)
+        start = time.perf_counter()
+        send(b"ping")
+        assert sink.done.wait(10.0)
+        total += time.perf_counter() - start
+    return total / PINGS
+
+
+def test_live_tcp_queued_writer_vs_direct(benchmark):
+    """The reliability layer's cost: per-peer queue + writer thread vs the
+    old inline-``sendall`` path, same loopback socket, same framing."""
+    cfg = LiveTransportConfig(send_queue_limit=FRAMES + 64)
+    results = {}
+
+    def sweep():
+        sink = _CountingSink(1)
+        server = TcpTransport(sink, config=cfg)
+        dst = server.local_address()
+
+        direct = _DirectSender(dst)
+        try:
+            results["direct 1thr"] = {
+                "secs": _throughput(direct.send, sink, threads=1),
+                "lat": _latency(direct.send, sink), "threads": 1}
+        finally:
+            direct.close()
+
+        client = TcpTransport(lambda d: None, config=cfg)
+        try:
+            ok = lambda data: client.send(dst, data)  # noqa: E731
+            results["queued 1thr"] = {
+                "secs": _throughput(ok, sink, threads=1),
+                "lat": _latency(ok, sink), "threads": 1}
+            results["queued 8thr"] = {
+                "secs": _throughput(ok, sink, threads=8),
+                "lat": None, "threads": 8}
+            results["dead_letters"] = client.stats.get("dead_letters").total
+        finally:
+            client.close()
+            server.close()
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("direct 1thr", "queued 1thr", "queued 8thr"):
+        r = results[name]
+        lat = f"{r['lat'] * 1e6:.0f}us" if r["lat"] is not None else "-"
+        rows.append([name, r["threads"], f"{FRAMES / r['secs']:,.0f}/s",
+                     lat])
+    write_result("live_tcp_reliability", render_table(
+        f"Live TCP: queued writer vs direct sendall "
+        f"({FRAMES} x {PAYLOAD}B frames, loopback)",
+        ["send path", "threads", "throughput", "one-way latency"],
+        rows))
+
+    assert results["dead_letters"] == 0
+    # the queue must not cost an order of magnitude: the writer thread adds
+    # a hop, but sendall still dominates
+    assert (results["queued 1thr"]["secs"]
+            < results["direct 1thr"]["secs"] * 10)
+    benchmark.extra_info["queued_vs_direct_slowdown"] = round(
+        results["queued 1thr"]["secs"] / results["direct 1thr"]["secs"], 3)
+    benchmark.extra_info["queued_8thr_throughput"] = round(
+        FRAMES / results["queued 8thr"]["secs"], 1)

@@ -447,16 +447,35 @@ class ClusterManager(Manager):
                          record.logical)
                 self.stats.inc("crashes_detected")
                 self.mark_dead(record.logical, left=False)
-                # tell everyone else so detection is cluster-wide
-                for peer in self.alive_peers():
-                    self.site.message_manager.send(SDMessage(
-                        type=MsgType.CRASH_NOTICE,
-                        src_site=self.local_id,
-                        src_manager=ManagerId.CLUSTER,
-                        dst_site=peer.logical,
-                        dst_manager=ManagerId.CLUSTER,
-                        payload={"site": record.logical},
-                    ))
+                self._broadcast_crash_notice(record.logical)
+
+    def _broadcast_crash_notice(self, logical: int) -> None:
+        """Tell everyone else so detection is cluster-wide."""
+        for peer in self.alive_peers():
+            self.site.message_manager.send(SDMessage(
+                type=MsgType.CRASH_NOTICE,
+                src_site=self.local_id,
+                src_manager=ManagerId.CLUSTER,
+                dst_site=peer.logical,
+                dst_manager=ManagerId.CLUSTER,
+                payload={"site": logical},
+            ))
+
+    def report_transport_suspicion(self, physical: str) -> None:
+        """The live transport's failure detector gave up on an address.
+
+        Unlike the message-level heartbeat timeout above, this signal comes
+        from real socket death (connect refused / send failing past the
+        retry budget), so it works even when cluster heartbeats are off.
+        """
+        for record in list(self.sites.values()):
+            if (record.alive and record.physical == physical
+                    and record.logical != self.local_id):
+                self.log("transport suspects site %d (%s) dead",
+                         record.logical, physical)
+                self.stats.inc("transport_suspicions")
+                self.mark_dead(record.logical, left=False)
+                self._broadcast_crash_notice(record.logical)
 
     def on_stop(self) -> None:
         if self._heartbeat_timer is not None:

@@ -90,6 +90,49 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class LiveTransportConfig:
+    """Reliability knobs for the *live* TCP transport (:mod:`repro.net.tcp`).
+
+    The sim kernel models the network with :class:`NetworkConfig`; this class
+    instead configures the real-socket path: per-peer send queues drained by
+    a writer thread, reconnect with exponential backoff, dead-letter
+    accounting once the retry budget is spent, and an optional keepalive
+    failure detector that reports suspected-dead peers to the crash manager.
+    """
+
+    #: seconds to wait for one TCP connect attempt
+    connect_timeout: float = 5.0
+    #: max frames queued per peer before ``send`` applies backpressure
+    send_queue_limit: int = 1024
+    #: delivery attempts (connect+write) per frame before dead-lettering
+    retry_budget: int = 6
+    #: first retry delay; doubles each attempt up to ``backoff_max``
+    backoff_initial: float = 0.05
+    backoff_max: float = 1.0
+    #: seconds between keepalive frames to every known peer
+    #: (0 disables the transport-level failure detector, matching the
+    #: cluster-level default: idle clusters quiesce)
+    heartbeat_interval: float = 0.0
+    #: consecutive failed delivery attempts before a peer is suspected dead
+    heartbeat_misses: int = 3
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout <= 0:
+            raise ConfigError("connect_timeout must be positive")
+        if self.send_queue_limit < 1:
+            raise ConfigError("send_queue_limit must be >= 1")
+        if self.retry_budget < 1:
+            raise ConfigError("retry_budget must be >= 1")
+        if self.backoff_initial <= 0 or self.backoff_max < self.backoff_initial:
+            raise ConfigError(
+                "need 0 < backoff_initial <= backoff_max")
+        if self.heartbeat_interval < 0:
+            raise ConfigError("heartbeat_interval must be >= 0")
+        if self.heartbeat_misses < 1:
+            raise ConfigError("heartbeat_misses must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class SchedulingConfig:
     """Scheduling-manager policy knobs (§3.3, §4)."""
 
@@ -223,6 +266,8 @@ class SDVMConfig:
 
     cost: CostModel = field(default_factory=CostModel)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    live_transport: LiveTransportConfig = field(
+        default_factory=LiveTransportConfig)
     scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     security: SecurityConfig = field(default_factory=SecurityConfig)

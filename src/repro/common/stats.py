@@ -9,8 +9,9 @@ them to report message counts, migrations, steals, and busy time.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 @dataclass(slots=True)
@@ -31,6 +32,29 @@ class Counter:
     def merge(self, other: "Counter") -> None:
         self.count += other.count
         self.total += other.total
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A sampled level: remembers the latest value and the peak seen.
+
+    Used for instantaneous quantities a counter cannot express — e.g. the
+    live transport's per-peer send-queue depth, where the high-water mark
+    tells whether backpressure was ever close.
+    """
+
+    value: float = 0.0
+    peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = other.value
+        if other.peak > self.peak:
+            self.peak = other.peak
 
 
 @dataclass(slots=True)
@@ -70,10 +94,16 @@ class StatSet:
     1
     """
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "_gauges", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, locked: bool = False) -> None:
+        """``locked=True`` serializes mutations — needed by the live TCP
+        transport, whose reader/writer/heartbeat threads all count events;
+        the single-threaded sim keeps the lock-free fast path."""
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._lock: Optional[threading.Lock] = (
+            threading.Lock() if locked else None)
 
     def __getitem__(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -82,24 +112,49 @@ class StatSet:
         return counter
 
     def inc(self, name: str) -> None:
-        self[name].add(1.0)
+        self.add(name, 1.0)
 
     def add(self, name: str, value: float) -> None:
-        self[name].add(value)
+        lock = self._lock
+        if lock is None:
+            self[name].add(value)
+            return
+        with lock:
+            self[name].add(value)
 
     def get(self, name: str) -> Counter:
         """Read-only access that does not create the counter."""
         return self._counters.get(name, Counter())
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def set_gauge(self, name: str, value: float) -> None:
+        lock = self._lock
+        if lock is None:
+            self.gauge(name).set(value)
+            return
+        with lock:
+            self.gauge(name).set(value)
+
     def merge(self, other: "StatSet") -> None:
         for name, counter in other._counters.items():
             self[name].merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
 
     def items(self) -> Iterator[Tuple[str, Counter]]:
         return iter(sorted(self._counters.items()))
 
     def as_dict(self) -> Dict[str, float]:
-        return {name: c.total for name, c in self._counters.items()}
+        out = {name: c.total for name, c in self._counters.items()}
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+            out[f"{name}_peak"] = gauge.peak
+        return out
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={c.total:g}" for k, c in self.items())

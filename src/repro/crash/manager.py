@@ -172,6 +172,8 @@ class CrashManager(Manager):
         """
         if orderly or not self.site.running:
             return
+        self.log("suspecting site %d crashed; entering recovery path",
+                 logical)
         self.stats.inc("crashes_observed")
         if not self.is_coordinator():
             return

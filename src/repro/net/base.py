@@ -21,9 +21,20 @@ class Transport(Protocol):
         """Transmit ``data`` to physical address ``dst``.
 
         Returns False if the transport knows delivery failed immediately
-        (unknown address, closed endpoint).  An unreliable transport may
-        return True and still lose the message — exactly the UDP behaviour
-        the paper found "not viable" (§4).
+        (unknown address, closed endpoint, backpressure).  A reliable
+        transport may instead *queue* the bytes and return True, taking on
+        the obligation to retry delivery — the live TCP transport does
+        exactly this, and signals eventual surrender through its
+        ``dead_letters`` counter and ``on_peer_down`` callback.  An
+        unreliable transport may return True and still lose the message —
+        exactly the UDP behaviour the paper found "not viable" (§4).
+
+        Transports may additionally expose two optional attributes the
+        kernel probes with ``getattr``: ``stats`` (a
+        :class:`repro.common.stats.StatSet` of transport counters) and
+        ``on_peer_down`` (a settable callback fired with a physical
+        address when the transport's failure detector suspects that peer
+        is dead).
         """
         ...
 

@@ -1,4 +1,4 @@
-"""Real TCP transport for the live runtime.
+"""Real TCP transport for the live runtime, with a reliability layer.
 
 Mirrors the paper's network manager (§4): "To receive, it features a
 listener, which spawns a new thread every time an incoming connection is
@@ -7,6 +7,23 @@ observation that TCP "needs a lot of communication to establish and end a
 connection" is exactly why), and messages are delimited with the
 length-prefixed framing from :mod:`repro.serde.framing`.
 
+Reliability model (see ``LiveTransportConfig``):
+
+* Every destination gets a bounded **send queue** drained by a dedicated
+  writer thread — the single writer per socket is what serializes frames,
+  so concurrent ``send`` calls can never interleave bytes on the stream.
+* The writer **reconnects with exponential backoff** when a write fails
+  (a stale cached connection after a peer restart is retried with a fresh
+  socket instead of silently dropping the frame).
+* When the per-frame **retry budget** is spent, everything queued for that
+  peer is dropped into the ``dead_letters`` counter and the peer is
+  reported via :attr:`on_peer_down` — the live kernel forwards this to the
+  cluster manager, which feeds the crash manager's recovery path.
+* An optional **keepalive heartbeat** (zero-length frames, filtered out on
+  the receive side) keeps the failure detector running even when the
+  cluster is idle, so real socket death is noticed within
+  ``heartbeat_interval`` plus a few backoffs.
+
 Physical addresses are ``"host:port"`` strings.
 """
 
@@ -14,10 +31,33 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from dataclasses import replace
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.common.errors import AddressError
+from repro.common.config import LiveTransportConfig
+from repro.common.errors import AddressError, SerializationError
+from repro.common.stats import StatSet
 from repro.serde.framing import FrameDecoder, frame
+
+#: wire representation of a keepalive: an empty frame (no SDMessage is ever
+#: zero bytes, so receivers can filter these without parsing)
+_KEEPALIVE = frame(b"")
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Shutdown-then-close.  A plain ``close`` on a socket another thread
+    is blocked in ``recv`` on does not send the FIN until that recv returns
+    (the in-flight syscall keeps the kernel socket alive) — ``shutdown``
+    pushes the FIN out and wakes the blocked reader immediately."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
 
 
 def _parse(addr: str) -> Tuple[str, int]:
@@ -27,30 +67,69 @@ def _parse(addr: str) -> Tuple[str, int]:
     return host, int(port)
 
 
+class _Peer:
+    """Outgoing state for one destination: queue, socket, failure record."""
+
+    __slots__ = ("addr", "queue", "cond", "sock", "writer", "failures",
+                 "suspected")
+
+    def __init__(self, addr: str) -> None:
+        self.addr = addr
+        self.queue: Deque[bytes] = deque()
+        self.cond = threading.Condition()
+        self.sock: Optional[socket.socket] = None
+        self.writer: Optional[threading.Thread] = None
+        #: consecutive failed delivery attempts (reset on success)
+        self.failures = 0
+        #: failure detector already fired for the current outage
+        self.suspected = False
+
+
 class TcpTransport:
-    """Listener + cached outgoing connections, one reader thread per peer."""
+    """Listener + per-peer queued writers, one reader thread per peer."""
 
     def __init__(self, receiver: Callable[[bytes], None],
                  host: str = "127.0.0.1", port: int = 0,
-                 connect_timeout: float = 5.0) -> None:
+                 connect_timeout: Optional[float] = None,
+                 config: Optional[LiveTransportConfig] = None) -> None:
         self._receiver = receiver
-        self._connect_timeout = connect_timeout
+        cfg = config or LiveTransportConfig()
+        if connect_timeout is not None:
+            cfg = replace(cfg, connect_timeout=connect_timeout)
+        self._config = cfg
+        self.stats = StatSet(locked=True)
+        #: set to a callable(physical_addr) to hear about suspected-dead
+        #: peers (failure detector / retry budget exhaustion); invoked on a
+        #: transport thread — receivers must hand off to their own loop
+        self.on_peer_down: Optional[Callable[[str], None]] = None
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(64)
         self._addr = f"{host}:{self._listener.getsockname()[1]}"
-        self._out: Dict[str, socket.socket] = {}
-        self._out_lock = threading.Lock()
+        self._peers: Dict[str, _Peer] = {}
+        self._peers_lock = threading.Lock()
+        #: accepted inbound connections, so close() can reap reader threads
+        self._in: Set[socket.socket] = set()
+        self._in_lock = threading.Lock()
         self._closed = threading.Event()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"sdvm-accept-{self._addr}",
             daemon=True)
         self._accept_thread.start()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        if cfg.heartbeat_interval > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"sdvm-keepalive-{self._addr}", daemon=True)
+            self._heartbeat_thread.start()
 
     # ------------------------------------------------------------------
     def local_address(self) -> str:
         return self._addr
+
+    # ------------------------------------------------------------------
+    # inbound path
 
     def _accept_loop(self) -> None:
         while not self._closed.is_set():
@@ -58,6 +137,14 @@ class TcpTransport:
                 conn, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            with self._in_lock:
+                if self._closed.is_set():
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    continue
+                self._in.add(conn)
             threading.Thread(target=self._read_loop, args=(conn,),
                              name=f"sdvm-read-{self._addr}",
                              daemon=True).start()
@@ -70,66 +157,221 @@ class TcpTransport:
                 if not data:
                     return
                 for payload in decoder.feed(data):
+                    if not payload:
+                        self.stats.inc("keepalives_received")
+                        continue
+                    self.stats.inc("frames_received")
                     self._receiver(payload)
         except OSError:
             return
+        except SerializationError:
+            # corrupt length prefix: the rest of this stream is garbage;
+            # drop the connection (the peer will reconnect) but keep serving
+            self.stats.inc("corrupt_stream")
+            return
         finally:
+            with self._in_lock:
+                self._in.discard(conn)
             try:
                 conn.close()
             except OSError:
                 pass
 
     # ------------------------------------------------------------------
-    def _connection(self, dst: str) -> Optional[socket.socket]:
-        with self._out_lock:
-            sock = self._out.get(dst)
+    # outbound path: per-peer queue + writer thread
+
+    def _peer(self, dst: str) -> _Peer:
+        with self._peers_lock:
+            peer = self._peers.get(dst)
+            if peer is None:
+                peer = self._peers[dst] = _Peer(dst)
+                peer.writer = threading.Thread(
+                    target=self._writer_loop, args=(peer,),
+                    name=f"sdvm-write-{self._addr}->{dst}", daemon=True)
+                peer.writer.start()
+            return peer
+
+    def send(self, dst: str, data: bytes) -> bool:
+        """Queue ``data`` for delivery to ``dst``.
+
+        Returns False only for failures known *immediately*: transport
+        closed, or the peer's queue is full (backpressure).  A True return
+        means "accepted for delivery with retries"; if the peer stays
+        unreachable past the retry budget the frame is dead-lettered and
+        :attr:`on_peer_down` fires.  Malformed addresses raise
+        :class:`AddressError`.
+        """
+        if self._closed.is_set():
+            return False
+        _parse(dst)  # validate early; writer threads rely on a good address
+        payload = frame(data)
+        peer = self._peer(dst)
+        with peer.cond:
+            if len(peer.queue) >= self._config.send_queue_limit:
+                self.stats.inc("queue_full_drops")
+                return False
+            peer.queue.append(payload)
+            depth = len(peer.queue)
+            peer.cond.notify()
+        self.stats.inc("frames_enqueued")
+        self.stats.set_gauge("send_queue_depth", depth)
+        return True
+
+    def _writer_loop(self, peer: _Peer) -> None:
+        while True:
+            with peer.cond:
+                while not peer.queue and not self._closed.is_set():
+                    peer.cond.wait()
+                if self._closed.is_set():
+                    return
+                payload = peer.queue[0]
+            if self._deliver(peer, payload):
+                with peer.cond:
+                    if peer.queue and peer.queue[0] is payload:
+                        peer.queue.popleft()
+                    self.stats.set_gauge("send_queue_depth",
+                                         len(peer.queue))
+            else:
+                with peer.cond:
+                    dropped = len(peer.queue)
+                    peer.queue.clear()
+                    self.stats.set_gauge("send_queue_depth", 0)
+                if dropped:
+                    self.stats.add("dead_letters", dropped)
+
+    def _deliver(self, peer: _Peer, payload: bytes) -> bool:
+        """Try to put ``payload`` on the wire; reconnect/backoff/retry.
+
+        Returns False once the retry budget is exhausted (the caller
+        dead-letters the queue).  The failure detector fires as soon as
+        ``heartbeat_misses`` consecutive attempts have failed — before the
+        budget runs out, so recovery starts while retries continue.
+        """
+        cfg = self._config
+        backoff = cfg.backoff_initial
+        for attempt in range(cfg.retry_budget):
+            if self._closed.is_set():
+                return False
+            sock = peer.sock
+            if sock is None:
+                sock = self._connect(peer)
             if sock is not None:
-                return sock
-        host, port = _parse(dst)
+                try:
+                    sock.sendall(payload)
+                    peer.failures = 0
+                    if peer.suspected:
+                        peer.suspected = False
+                        self.stats.inc("peers_recovered")
+                    self.stats.inc("frames_sent")
+                    self.stats.add("bytes_sent", len(payload))
+                    return True
+                except OSError:
+                    self._drop_socket(peer)
+            peer.failures += 1
+            self.stats.inc("send_retries")
+            self._note_failure(peer)
+            if attempt + 1 < cfg.retry_budget:
+                self._closed.wait(backoff)
+                backoff = min(backoff * 2.0, cfg.backoff_max)
+        self._note_failure(peer, force=True)
+        return False
+
+    def _connect(self, peer: _Peer) -> Optional[socket.socket]:
+        host, port = _parse(peer.addr)
         try:
-            sock = socket.create_connection((host, port),
-                                            timeout=self._connect_timeout)
+            sock = socket.create_connection(
+                (host, port), timeout=self._config.connect_timeout)
             sock.settimeout(None)
         except OSError:
             return None
-        with self._out_lock:
-            existing = self._out.get(dst)
-            if existing is not None:
-                sock.close()
-                return existing
-            self._out[dst] = sock
+        peer.sock = sock
+        self.stats.inc("connects")
+        # outgoing connections never carry inbound protocol data (peers
+        # connect back separately), so a blocking recv doubles as an EOF
+        # monitor: the peer's FIN invalidates the cached socket at once,
+        # instead of the next sendall silently burying a frame in the
+        # kernel buffer of a dead connection
+        threading.Thread(target=self._monitor_loop, args=(peer, sock),
+                         name=f"sdvm-monitor-{self._addr}->{peer.addr}",
+                         daemon=True).start()
         return sock
 
-    def send(self, dst: str, data: bytes) -> bool:
-        if self._closed.is_set():
-            return False
-        sock = self._connection(dst)
-        if sock is None:
-            return False
+    def _monitor_loop(self, peer: _Peer, sock: socket.socket) -> None:
         try:
-            sock.sendall(frame(data))
-            return True
-        except OSError:
-            # peer went away; drop the cached connection, report failure
-            with self._out_lock:
-                if self._out.get(dst) is sock:
-                    del self._out[dst]
-            try:
-                sock.close()
-            except OSError:
+            while sock.recv(4096):
                 pass
-            return False
-
-    def close(self) -> None:
-        self._closed.set()
-        try:
-            self._listener.close()
         except OSError:
             pass
-        with self._out_lock:
-            for sock in self._out.values():
+        with peer.cond:
+            if peer.sock is sock:
+                peer.sock = None
+                self.stats.inc("stale_connections")
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _drop_socket(self, peer: _Peer) -> None:
+        sock, peer.sock = peer.sock, None
+        if sock is not None:
+            _hard_close(sock)
+
+    def _note_failure(self, peer: _Peer, force: bool = False) -> None:
+        if peer.suspected:
+            return
+        if force or peer.failures >= self._config.heartbeat_misses:
+            peer.suspected = True
+            self.stats.inc("peers_suspected")
+            callback = self.on_peer_down
+            if callback is not None:
                 try:
-                    sock.close()
-                except OSError:
+                    callback(peer.addr)
+                except Exception:  # noqa: BLE001 — keep the writer alive
                     pass
-            self._out.clear()
+
+    # ------------------------------------------------------------------
+    # keepalive failure detector
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self._config.heartbeat_interval):
+            with self._peers_lock:
+                peers = list(self._peers.values())
+            for peer in peers:
+                with peer.cond:
+                    # a suspected peer is not pinged again — the next
+                    # application send re-arms the detector; a backlogged
+                    # queue already keeps the writer probing
+                    if peer.suspected or peer.queue:
+                        continue
+                    peer.queue.append(_KEEPALIVE)
+                    peer.cond.notify()
+                self.stats.inc("keepalives_sent")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # shutdown, not just close: a close while the accept thread is
+        # blocked in accept(2) leaves the kernel socket listening (the
+        # in-flight syscall pins it), so the port would stay occupied
+        _hard_close(self._listener)
+        with self._peers_lock:
+            peers = list(self._peers.values())
+        for peer in peers:
+            with peer.cond:
+                peer.cond.notify_all()
+            self._drop_socket(peer)
+        inbound: List[socket.socket]
+        with self._in_lock:
+            inbound = list(self._in)
+            self._in.clear()
+        for conn in inbound:
+            _hard_close(conn)
+        current = threading.current_thread()
+        for peer in peers:
+            if peer.writer is not None and peer.writer is not current:
+                peer.writer.join(timeout=0.5)
+        if (self._heartbeat_thread is not None
+                and self._heartbeat_thread is not current):
+            self._heartbeat_thread.join(timeout=0.5)

@@ -98,7 +98,8 @@ class LiveCluster:
                 return InProcTransport(self._hub, f"site-{index}", receiver)
         elif transport == "tcp":
             def make_transport(receiver):  # noqa: ANN001
-                return TcpTransport(receiver)
+                return TcpTransport(receiver,
+                                    config=self.config.live_transport)
         else:
             raise SDVMError(f"unknown transport {transport!r}")
         kernel = LiveKernel(make_transport, seed=self.config.seed,

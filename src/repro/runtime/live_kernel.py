@@ -42,7 +42,12 @@ class LiveKernel(Kernel):
             queue.SimpleQueue())
         self._stopping = threading.Event()
         self._receiver: Optional[Callable[[bytes], None]] = None
+        self._peer_watcher: Optional[Callable[[str], None]] = None
         self.transport = make_transport(self._on_raw)
+        # reliable transports report suspected-dead peers; route those onto
+        # the reactor like any other network event
+        if hasattr(self.transport, "on_peer_down"):
+            self.transport.on_peer_down = self._on_peer_down
         # timer machinery
         self._timer_heap: list = []
         self._timer_lock = threading.Lock()
@@ -81,6 +86,22 @@ class LiveKernel(Kernel):
         receiver = self._receiver
         if receiver is not None and not self._stopping.is_set():
             self.post(receiver, data)
+
+    def attach_peer_watcher(self, watcher: Callable[[str], None]) -> None:
+        """Daemon wires the cluster manager's transport-suspicion hook here;
+        ``watcher(physical_addr)`` runs on the reactor."""
+        self._peer_watcher = watcher
+
+    def _on_peer_down(self, physical: str) -> None:
+        # called on transport writer threads
+        watcher = self._peer_watcher
+        if watcher is not None and not self._stopping.is_set():
+            self.post(watcher, physical)
+
+    def transport_stats(self) -> dict:
+        """Snapshot of the transport's counters ({} if it keeps none)."""
+        stats = getattr(self.transport, "stats", None)
+        return stats.as_dict() if stats is not None else {}
 
     def post(self, fn: Callable[..., None], *args: Any) -> None:
         if not self._stopping.is_set():

@@ -91,6 +91,15 @@ class SDVMSite:
         attach = getattr(kernel, "attach_receiver", None)
         if attach is not None:
             attach(self.message_manager.deliver_raw)
+        # the transport's failure detector: suspected peers -> cluster mgr
+        watch = getattr(kernel, "attach_peer_watcher", None)
+        if watch is not None:
+            watch(self._on_peer_suspected)
+
+    def _on_peer_suspected(self, physical: str) -> None:
+        """Live transport gave up on a physical address (runs on reactor)."""
+        if self.running:
+            self.cluster_manager.report_transport_suspicion(physical)
 
     def _make_processing_manager(self):  # noqa: ANN202
         if self.kernel.mode == "sim":

@@ -213,4 +213,10 @@ class MessageManager(Manager):
     def status(self) -> dict:
         base = super().status()
         base["pending_requests"] = len(self._pending)
+        # live transports keep their own counters (queue depth, retries,
+        # dead letters); expose them with the messaging stats so the site
+        # manager's STATUS_QUERY reports the full delivery picture
+        transport_stats = getattr(self.kernel, "transport_stats", None)
+        if transport_stats is not None:
+            base["transport"] = transport_stats()
         return base

@@ -139,15 +139,30 @@ class TestTcpTransportDirect:
                 assert client.send(server.local_address(), bytes([i]) * 10)
             assert done.wait(3.0)
             assert got == [bytes([i]) * 10 for i in range(3)]
+            # the connection cache held: one connect served all frames
+            assert client.stats.get("connects").count == 1
         finally:
             client.close()
             server.close()
 
-    def test_send_to_dead_endpoint_fails(self):
+    def test_send_to_dead_endpoint_dead_letters(self):
+        """Sends to an unreachable peer are queued for retry; once the
+        budget is spent they are dead-lettered and the peer reported."""
+        from repro.common.config import LiveTransportConfig
         from repro.net.tcp import TcpTransport
-        client = TcpTransport(lambda d: None, connect_timeout=0.3)
+        down = threading.Event()
+        client = TcpTransport(lambda d: None, config=LiveTransportConfig(
+            connect_timeout=0.3, retry_budget=3, backoff_initial=0.01,
+            backoff_max=0.05, heartbeat_misses=2))
+        client.on_peer_down = lambda addr: down.set()
         try:
-            assert not client.send("127.0.0.1:1", b"x")
+            assert client.send("127.0.0.1:1", b"x")  # accepted for retry
+            assert down.wait(5.0)
+            deadline = time.monotonic() + 5.0
+            while (client.stats.get("dead_letters").total < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert client.stats.get("dead_letters").total >= 1
         finally:
             client.close()
 

@@ -143,6 +143,86 @@ class TestForwardingMode:
         assert b.message_manager.stats.get("forwarded_to_heir").count == 0
 
 
+class TestLiveKernelTimeoutPaths:
+    """request() timeout machinery exercised on the live (real-threads)
+    kernel: timeout fires, a late reply is routed as an orphan, and
+    on_stop cancels pending handles."""
+
+    @staticmethod
+    def _cluster():
+        import time
+
+        from repro.common.config import CostModel
+        from repro.runtime.live_cluster import LiveCluster
+
+        return LiveCluster(nsites=2, config=SDVMConfig(
+            cost=CostModel(compile_fixed_cost=1e-4)))
+
+    @staticmethod
+    def _swallow_queries(site):
+        """Make ``site`` drop STATUS_QUERYs so no reply can race the
+        timeout timer."""
+        site.kernel.reactor_call(
+            lambda: setattr(site.site_manager, "handle", lambda msg: None))
+
+    @staticmethod
+    def _await(predicate, timeout=5.0):
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_timeout_fires_and_clears_pending(self):
+        import threading
+        with self._cluster() as cluster:
+            a, b = cluster.sites
+            self._swallow_queries(b)
+            timed_out = threading.Event()
+            a.kernel.reactor_call(lambda: a.message_manager.request(
+                status_msg(a, b), lambda m: None, timeout=0.05,
+                on_timeout=timed_out.set))
+            assert timed_out.wait(5.0)
+            assert self._await(lambda: a.kernel.reactor_call(
+                lambda: (a.message_manager.stats.get(
+                             "request_timeouts").count,
+                         len(a.message_manager._pending))) == (1, 0))
+
+    def test_late_reply_becomes_orphan(self):
+        with self._cluster() as cluster:
+            a, b = cluster.sites
+            self._swallow_queries(b)
+            msg = status_msg(a, b)
+            a.kernel.reactor_call(lambda: a.message_manager.request(
+                msg, lambda m: None, timeout=0.05))
+            assert self._await(lambda: a.kernel.reactor_call(
+                lambda: a.message_manager.stats.get(
+                    "request_timeouts").count) == 1)
+            # now hand-deliver the reply the swallowed query never produced
+            late = make_reply(msg, MsgType.STATUS_REPLY,
+                              {"load": 0.0, "site_id": b.site_id})
+            b.kernel.reactor_call(lambda: b.message_manager.send(late))
+            assert self._await(lambda: a.kernel.reactor_call(
+                lambda: a.message_manager.stats.get(
+                    "orphan_replies").count) == 1)
+
+    def test_on_stop_cancels_pending_handles(self):
+        with self._cluster() as cluster:
+            a, b = cluster.sites
+            self._swallow_queries(b)
+            msg = status_msg(a, b)
+            a.kernel.reactor_call(lambda: a.message_manager.request(
+                msg, lambda m: None, timeout=60.0))
+            handle = a.kernel.reactor_call(
+                lambda: a.message_manager._pending[msg.seq].timeout_handle)
+            assert handle is not None and not handle.cancelled
+            a.kernel.reactor_call(a.stop)
+            assert handle.cancelled
+            assert not a.message_manager._pending
+
+
 class TestSecurityIntegration:
     def test_sealed_wire_hides_payload(self):
         from repro.common.config import SecurityConfig

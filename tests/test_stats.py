@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.stats import Counter, StatSet, Timer
+from repro.common.stats import Counter, Gauge, StatSet, Timer
 from repro.sim.engine import SimulationError
 from repro.sim.resource import SimResource
 
@@ -56,6 +56,54 @@ class TestStatSet:
         s.inc("zebra")
         s.inc("alpha")
         assert [k for k, _ in s.items()] == ["alpha", "zebra"]
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(7.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.peak == 7.0
+
+    def test_merge_keeps_peak(self):
+        a, b = Gauge(), Gauge()
+        a.set(5.0)
+        b.set(3.0)
+        a.merge(b)
+        assert a.value == 3.0
+        assert a.peak == 5.0
+
+    def test_statset_gauges_in_as_dict(self):
+        s = StatSet()
+        s.set_gauge("queue_depth", 4.0)
+        s.set_gauge("queue_depth", 1.0)
+        d = s.as_dict()
+        assert d["queue_depth"] == 1.0
+        assert d["queue_depth_peak"] == 4.0
+
+    def test_statset_gauge_merge(self):
+        a, b = StatSet(), StatSet()
+        a.set_gauge("depth", 9.0)
+        b.set_gauge("depth", 2.0)
+        a.merge(b)
+        assert a.gauge("depth").peak == 9.0
+
+    def test_locked_statset_counts_concurrently(self):
+        import threading
+        s = StatSet(locked=True)
+
+        def spin():
+            for _ in range(5000):
+                s.inc("hits")
+
+        workers = [threading.Thread(target=spin) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert s["hits"].count == 20000
 
 
 class TestTimer:
