@@ -1,0 +1,15 @@
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench smoke-trace
+
+test:
+	$(PY) -m pytest -q
+
+bench:
+	$(PY) -m pytest -q benchmarks/ --benchmark-only
+
+# CI smoke for the observability pipeline: run one traced sim benchmark
+# and validate the Chrome trace + stats artifacts it dumps
+smoke-trace:
+	$(PY) benchmarks/smoke_trace.py

@@ -1,0 +1,53 @@
+"""CI smoke check for the observability pipeline.
+
+Runs one sim benchmark with structured tracing enabled (via
+``SDVM_TRACE_DIR``) and validates every dumped artifact: the Chrome trace
+must parse, carry monotonic timestamps and known phases, and the stats
+report must contain the derived metrics.  Exits non-zero on any failure,
+so it can gate CI (``make smoke-trace``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+
+def main() -> int:
+    os.environ.setdefault("SDVM_TRACE_DIR",
+                          tempfile.mkdtemp(prefix="sdvm-trace-smoke-"))
+    # import *after* the env var is set: the harness reads it at import
+    from repro.bench.harness import TRACE_DIR, run_primes
+    from repro.trace import validate_chrome_trace
+
+    duration, cluster = run_primes(25, 6, 4, 400.0, 4000.0)
+    print(f"primes(25, 6) on 4 sites: {duration:.4f}s virtual, "
+          f"{len(cluster.tracer)} trace events")
+
+    traces = sorted(name for name in os.listdir(TRACE_DIR)
+                    if name.endswith(".trace.json"))
+    reports = sorted(name for name in os.listdir(TRACE_DIR)
+                     if name.endswith(".stats.txt"))
+    if not traces or not reports:
+        print(f"FAIL: no artifacts dumped under {TRACE_DIR}")
+        return 1
+    for name in traces:
+        summary = validate_chrome_trace(os.path.join(TRACE_DIR, name))
+        if summary["slices"] == 0:
+            print(f"FAIL: {name} has no duration slices")
+            return 1
+        print(f"{name}: {summary}")
+    for name in reports:
+        with open(os.path.join(TRACE_DIR, name), encoding="utf-8") as fh:
+            text = fh.read()
+        if "derived metrics" not in text:
+            print(f"FAIL: {name} is missing the derived metrics block")
+            return 1
+        print(f"{name}: ok ({len(text.splitlines())} lines)")
+    print(f"smoke ok — artifacts in {TRACE_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

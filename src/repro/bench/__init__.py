@@ -13,6 +13,8 @@ from repro.bench.calibration import (
     calibrated_test_params,
 )
 from repro.bench.harness import (
+    bench_config,
+    dump_trace_artifact,
     run_primes,
     render_table,
     speedup_row,
@@ -21,7 +23,9 @@ from repro.bench.harness import (
 __all__ = [
     "PAPER_TABLE1",
     "PAPER_OVERHEAD_PERCENT",
+    "bench_config",
     "calibrated_test_params",
+    "dump_trace_artifact",
     "run_primes",
     "render_table",
     "speedup_row",

@@ -14,12 +14,35 @@ from repro.site.simcluster import SimCluster
 #: the default keeps CI runs in seconds
 FULL_SWEEP = os.environ.get("SDVM_BENCH_FULL", "") not in ("", "0")
 
+#: set SDVM_TRACE_DIR=<dir> to make every benchmark run with structured
+#: tracing on and dump a Chrome trace + stats report per run
+TRACE_DIR = os.environ.get("SDVM_TRACE_DIR", "")
+
 
 def bench_config(**overrides) -> SDVMConfig:
     """The configuration every benchmark uses unless it sweeps a knob."""
     base = SDVMConfig(
-        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0))
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+        trace=bool(TRACE_DIR))
     return base.with_(**overrides) if overrides else base
+
+
+def dump_trace_artifact(cluster: SimCluster, name: str) -> Optional[str]:
+    """Write <name>.trace.json + <name>.stats.txt under SDVM_TRACE_DIR.
+
+    No-op (returns None) unless the env var is set and the cluster was
+    built with tracing on.  Returns the trace path on success.
+    """
+    if not TRACE_DIR or cluster.tracer is None:
+        return None
+    os.makedirs(TRACE_DIR, exist_ok=True)
+    trace_path = os.path.join(TRACE_DIR, f"{name}.trace.json")
+    cluster.write_chrome_trace(trace_path)
+    stats_path = os.path.join(TRACE_DIR, f"{name}.stats.txt")
+    with open(stats_path, "w", encoding="utf-8") as fh:
+        fh.write(cluster.cluster_report().render())
+        fh.write("\n")
+    return trace_path
 
 
 def run_primes(p: int, width: int, nsites: int, scale: float, base: float,
@@ -33,6 +56,7 @@ def run_primes(p: int, width: int, nsites: int, scale: float, base: float,
     cluster.run(progress_timeout=progress_timeout)
     if verify and handle.result != first_n_primes(p):
         raise SDVMError(f"primes({p}, {width}) returned a wrong result")
+    dump_trace_artifact(cluster, f"primes_p{p}_w{width}_s{nsites}")
     return handle.duration, cluster
 
 

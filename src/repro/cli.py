@@ -6,10 +6,14 @@ Usage (installed as a module)::
     python -m repro.cli run primes --sites 8 --args 100 10
     python -m repro.cli run matmul --sites 4 --args 24 6 --trace
     python -m repro.cli run mergesort --sites 4 --args 2000 64 1 --invoice
+    python -m repro.cli trace primes --sites 4 --out primes.json
+    python -m repro.cli stats primes --sites 4
     python -m repro.cli table1 --p 100            # one Table-1 row
 
 ``run`` builds a simulated cluster, executes the program, prints its
 frontend output, result summary, and (optionally) a timeline and invoice.
+``trace`` exports a Chrome/Perfetto trace of the run; ``stats`` prints the
+cluster-wide metrics report (derived steal/code-cache/checkpoint ratios).
 """
 
 from __future__ import annotations
@@ -63,14 +67,36 @@ def _coerce_args(raw: Sequence[str], defaults: tuple) -> tuple:
     return tuple(out)
 
 
-def _build_config(args: argparse.Namespace) -> SDVMConfig:
+def _build_config(args: argparse.Namespace,
+                  trace: bool = False) -> SDVMConfig:
     return SDVMConfig(
         cost=CostModel(compile_fixed_cost=1e-3),
         scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
-        security=SecurityConfig(enabled=args.encrypt),
-        journal=args.trace,
+        security=SecurityConfig(enabled=getattr(args, "encrypt", False)),
+        journal=getattr(args, "trace", False),
+        trace=trace,
         seed=args.seed,
     )
+
+
+def _run_app(args: argparse.Namespace, out,  # noqa: ANN001
+             trace: bool = False):
+    """Build a sim cluster, run the requested app, return (cluster, handle).
+
+    Shared by ``run``, ``trace``, and ``stats``; returns (None, None) after
+    printing a hint when the app name is unknown.
+    """
+    if args.app not in APPS:
+        print(f"unknown app {args.app!r}; try: {', '.join(APPS)}",
+              file=out)
+        return None, None
+    program, defaults = _load_app(args.app)
+    app_args = _coerce_args(args.args, defaults)
+    cluster = SimCluster(nsites=args.sites,
+                         config=_build_config(args, trace=trace))
+    handle = cluster.submit(program, args=app_args)
+    cluster.run(progress_timeout=600.0)
+    return cluster, handle
 
 
 def cmd_apps(_args: argparse.Namespace, out) -> int:  # noqa: ANN001
@@ -82,15 +108,9 @@ def cmd_apps(_args: argparse.Namespace, out) -> int:  # noqa: ANN001
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:  # noqa: ANN001
-    if args.app not in APPS:
-        print(f"unknown app {args.app!r}; try: {', '.join(APPS)}",
-              file=out)
+    cluster, handle = _run_app(args, out, trace=bool(args.trace_json))
+    if cluster is None:
         return 2
-    program, defaults = _load_app(args.app)
-    app_args = _coerce_args(args.args, defaults)
-    cluster = SimCluster(nsites=args.sites, config=_build_config(args))
-    handle = cluster.submit(program, args=app_args)
-    cluster.run(progress_timeout=600.0)
 
     for line in handle.output():
         print(f"  | {line}", file=out)
@@ -108,8 +128,38 @@ def cmd_run(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     if args.trace:
         from repro.trace import Timeline
         print(Timeline.from_cluster(cluster).render(width=64), file=out)
+    if args.trace_json:
+        count = cluster.write_chrome_trace(args.trace_json)
+        print(f"wrote {count} trace events to {args.trace_json} "
+              f"(open with chrome://tracing or https://ui.perfetto.dev)",
+              file=out)
     if args.invoice:
         print(cluster.accounting_report(), file=out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run an app with structured tracing on and export a Chrome trace."""
+    cluster, handle = _run_app(args, out, trace=True)
+    if cluster is None:
+        return 2
+    count = cluster.write_chrome_trace(args.out)
+    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
+          f"site(s)", file=out)
+    print(f"wrote {count} trace events to {args.out} "
+          f"(open with chrome://tracing or https://ui.perfetto.dev)",
+          file=out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run an app and print the cluster-wide metrics report."""
+    cluster, handle = _run_app(args, out, trace=True)
+    if cluster is None:
+        return 2
+    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
+          f"site(s)", file=out)
+    print(cluster.cluster_report().render(top=args.top), file=out)
     return 0
 
 
@@ -156,11 +206,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="program arguments (see `apps`)")
     run_parser.add_argument("--trace", action="store_true",
                             help="print an ASCII timeline")
+    run_parser.add_argument("--trace-json", metavar="PATH", default="",
+                            help="also write a Chrome/Perfetto trace file")
     run_parser.add_argument("--invoice", action="store_true",
                             help="print the accounting report")
     run_parser.add_argument("--encrypt", action="store_true",
                             help="enable the security manager")
     run_parser.add_argument("--seed", type=int, default=0)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run an app and export a Chrome/Perfetto trace")
+    trace_parser.add_argument("app")
+    trace_parser.add_argument("--sites", type=int, default=4)
+    trace_parser.add_argument("--args", nargs="*", default=[],
+                              help="program arguments (see `apps`)")
+    trace_parser.add_argument("--out", default="sdvm_trace.json",
+                              help="output path for the trace JSON")
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    stats_parser = sub.add_parser(
+        "stats", help="run an app and print cluster-wide metrics")
+    stats_parser.add_argument("app")
+    stats_parser.add_argument("--sites", type=int, default=4)
+    stats_parser.add_argument("--args", nargs="*", default=[],
+                              help="program arguments (see `apps`)")
+    stats_parser.add_argument("--top", type=int, default=24,
+                              help="how many counters to print")
+    stats_parser.add_argument("--seed", type=int, default=0)
 
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
@@ -175,6 +247,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
     handlers: Dict[str, Callable] = {
         "apps": cmd_apps,
         "run": cmd_run,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
         "table1": cmd_table1,
     }
     return handlers[args.command](args, out)

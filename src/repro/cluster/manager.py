@@ -179,6 +179,10 @@ class ClusterManager(Manager):
         if existing is None:
             self.sites[incoming.logical] = incoming
             incoming.last_seen = self.kernel.now
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "site_join",
+                        incoming.logical)
             for callback in self.on_site_joined:
                 callback(incoming.logical)
         else:
@@ -370,6 +374,10 @@ class ClusterManager(Manager):
             record.left = True
             record.heir = heir
         self.stats.inc("sign_offs_seen")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "site_leave",
+                    leaver, heir)
 
     def _on_crash_notice(self, msg: SDMessage) -> None:
         dead = msg.payload["site"]
@@ -382,6 +390,10 @@ class ClusterManager(Manager):
             record.alive = False
             record.left = left
             record.heir = heir
+            tr = self.tracer
+            if tr is not None and not left:
+                tr.emit(self.kernel.now, self.local_id, "site_dead",
+                        logical)
             self.site.crash_manager.on_site_dead(logical, orderly=left)
 
     # -- orderly departure ---------------------------------------------------

@@ -64,10 +64,15 @@ class CodeManager(Manager):
         """
         key = (pid, tid)
         compiled = self._compiled.get(key)
+        tr = self.tracer
         if compiled is not None:
             self.stats.inc("hits")
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "code_hit",
+                        pid, tid)
             callback(compiled)
             return
+        self.stats.inc("misses")
         waiting = self._pending.get(key)
         if waiting is not None:
             waiting.append(callback)
@@ -94,6 +99,10 @@ class CodeManager(Manager):
                 + src.source_size() * self.cost.compile_byte_cost)
         self.stats.inc("compiles")
         self.stats.add("compile_seconds", cost)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "code_compile",
+                    src.program, src.thread_id, cost)
         self.kernel.cpu_run(cost, self._do_compile, src)
 
     def _do_compile(self, src: MicrothreadSource) -> None:
@@ -161,6 +170,10 @@ class CodeManager(Manager):
             payload={"pid": pid, "tid": tid, "platform": self.platform},
         )
         self.stats.inc("requests_sent")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "code_fetch",
+                    pid, tid, target)
         ok = self.site.message_manager.request(
             msg, self._on_code_reply,
             timeout=2.0, on_timeout=lambda: self._finish(key, None))

@@ -276,6 +276,10 @@ class SDVMConfig:
     #: record a per-site event journal (executions, steals, membership,
     #: checkpoints) for the repro.trace timeline tools
     journal: bool = False
+    #: structured cluster-wide tracing: every manager reports typed events
+    #: into one repro.trace.Tracer (Chrome-trace export, metrics reports).
+    #: Off by default — the disabled hot path is a single attribute check.
+    trace: bool = False
     seed: int = 0
 
     def with_(self, **kwargs: object) -> "SDVMConfig":

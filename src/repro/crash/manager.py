@@ -26,6 +26,12 @@ class CrashManager(Manager):
         self._recovering = False
         #: (wave, coordinator) while waiting for local executions to drain
         self._pending_ack: Optional[tuple] = None
+        #: participant: highest committed/aborted wave seen per coordinator
+        #: (fences a CHECKPOINT_BEGIN that a smaller, faster COMMIT overtook
+        #: on the wire — pausing for a finished wave would wedge the site)
+        self._finished_waves: Dict[int, int] = {}
+        #: when the in-flight wave started (coordinator, for wave_seconds)
+        self._wave_started_at = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -76,7 +82,12 @@ class CrashManager(Manager):
         self._acks_pending = set(alive)
         self._states_pending = set(alive)
         self._collected = {}
+        self._wave_started_at = self.kernel.now
         self.stats.inc("waves_started")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "wave_begin",
+                    self._wave, len(alive))
         for logical in alive:
             self._send_ctrl(logical, MsgType.CHECKPOINT_BEGIN,
                             {"wave": self._wave, "phase": "pause"})
@@ -97,6 +108,12 @@ class CrashManager(Manager):
     # participant side
 
     def _on_pause(self, wave: int, coordinator: int) -> None:
+        if wave <= self._finished_waves.get(coordinator, -1):
+            # the wave already committed or aborted — its COMMIT overtook
+            # this pause (message delay scales with size, and a commit is
+            # smaller than a pause); obeying it now would pause us forever
+            self.stats.inc("stale_pauses_ignored")
+            return
         self.site.paused = True
         self._pending_ack = (wave, coordinator)
         self.maybe_ack_drained()
@@ -124,9 +141,16 @@ class CrashManager(Manager):
                         {"wave": wave, "state": state,
                          "site": self.local_id})
 
-    def _on_commit(self, wave: int) -> None:
+    def _on_commit(self, wave: int, src: int, aborted: bool = False) -> None:
+        if wave >= 0:
+            self._finished_waves[src] = max(
+                self._finished_waves.get(src, -1), wave)
         self.site.paused = False
-        self.stats.inc("waves_committed")
+        self._pending_ack = None
+        if aborted:
+            self.stats.inc("waves_aborted_observed")
+        else:
+            self.stats.inc("waves_committed")
         self.site.processing_manager.kick()
         self.site.scheduling_manager.kick()
 
@@ -157,9 +181,53 @@ class CrashManager(Manager):
             self.committed_wave = wave
             self.committed = dict(self._collected)
             self.stats.inc("checkpoints_committed")
+            self.stats.add("wave_seconds",
+                           self.kernel.now - self._wave_started_at)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "wave_commit",
+                        wave, len(self.committed))
             for logical in list(self.committed):
                 self._send_ctrl(logical, MsgType.CHECKPOINT_COMMIT,
                                 {"wave": wave})
+
+    def _abort_wave(self, reason: str) -> Optional[int]:
+        """Coordinator: cancel the in-flight checkpoint wave, if any.
+
+        A participant that dies between CHECKPOINT_ACK and CHECKPOINT_STATE
+        leaves ``_states_pending`` non-empty forever — the wave would never
+        commit and every paused participant would stay wedged.  Bumping
+        ``_wave`` fences all stale ACK/STATE traffic (both collectors guard
+        on the current wave id); the pending sets are cleared so the next
+        wave starts clean.  Returns the aborted wave id, or None if no
+        wave was in flight.
+        """
+        if (not self._acks_pending and not self._states_pending
+                and not self._collected):
+            return None
+        aborted = self._wave
+        self.log("aborting checkpoint wave %d: %s", aborted, reason)
+        self.stats.inc("waves_aborted")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "wave_abort",
+                    aborted, reason)
+        self._wave += 1
+        self._acks_pending = set()
+        self._states_pending = set()
+        self._collected = {}
+        return aborted
+
+    def _resume_participants(self, wave: int) -> None:
+        """Unpause every alive site after an aborted wave (no recovery).
+
+        Carries the aborted wave id so participants can fence a
+        CHECKPOINT_BEGIN pause of that wave that is still in flight.
+        """
+        for record in self.site.cluster_manager.sites.values():
+            if record.alive:
+                self._send_ctrl(record.logical, MsgType.CHECKPOINT_COMMIT,
+                                {"wave": wave, "aborted": True})
 
     # ------------------------------------------------------------------
     # crash handling
@@ -177,6 +245,9 @@ class CrashManager(Manager):
         self.stats.inc("crashes_observed")
         if not self.is_coordinator():
             return
+        # a wave the dead site participated in can never finish — abort it
+        # before recovery so stale ACK/STATE traffic is fenced out
+        aborted = self._abort_wave(f"site {logical} died mid-wave")
         if self.committed_wave < 0:
             # §2.2: without a checkpoint, the damage cannot be undone
             self.log("site %d crashed with no committed checkpoint; "
@@ -186,6 +257,9 @@ class CrashManager(Manager):
                     self.site.program_manager.local_exit(
                         info.pid, None, failed=True,
                         failure=f"site {logical} crashed; no checkpoint")
+            if aborted is not None:
+                # no recovery wave will unpause the survivors — do it here
+                self._resume_participants(aborted)
             return
         self._start_recovery(dead=logical)
 
@@ -194,6 +268,10 @@ class CrashManager(Manager):
         self.stats.inc("recoveries")
         alive = [r.logical for r in self.site.cluster_manager.sites.values()
                  if r.alive]
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "recovery_begin",
+                    self.site.epoch + 1, dead)
         # compute the new epoch once — handling our own RECOVER_BEGIN below
         # bumps self.site.epoch, so an inline read would skew later sends
         new_epoch = self.site.epoch + 1
@@ -207,6 +285,9 @@ class CrashManager(Manager):
     def _on_recover_begin(self, payload: dict) -> None:
         self.site.epoch = payload["epoch"]
         self.site.paused = True
+        # forget any ack owed to a pre-recovery wave: the wave is dead, and
+        # a drain-triggered stale ACK would confuse the next coordinator
+        self._pending_ack = None
         dead = payload["dead"]
         heir = payload["heir"]
         record = self.site.cluster_manager.sites.get(dead)
@@ -224,6 +305,10 @@ class CrashManager(Manager):
 
     def _finish_recovery(self, alive: Set[int]) -> None:
         self._recovering = False
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "recovery_done",
+                    self.site.epoch)
         for logical in alive:
             self._send_ctrl(logical, MsgType.RECOVER_DONE, {})
 
@@ -252,7 +337,8 @@ class CrashManager(Manager):
             self._on_state(payload["wave"], payload["site"],
                            payload["state"])
         elif mtype == MsgType.CHECKPOINT_COMMIT:
-            self._on_commit(payload["wave"])
+            self._on_commit(payload["wave"], src,
+                            payload.get("aborted", False))
         elif mtype == MsgType.RECOVER_BEGIN:
             self._on_recover_begin(payload)
         elif mtype == MsgType.RECOVER_STATE:

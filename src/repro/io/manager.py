@@ -53,6 +53,9 @@ class IOManager(Manager):
     def _record_output(self, program: int, text: str) -> None:
         self.outputs.setdefault(program, []).append((self.kernel.now, text))
         self.stats.inc("outputs_recorded")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "io_output", program)
 
     def output_lines(self, program: int) -> List[str]:
         return [text for _t, text in self.outputs.get(program, [])]
@@ -115,6 +118,9 @@ class IOManager(Manager):
         self._local_handles[handle] = (path, mode)
         self._positions[handle] = (len(vfs[path]) if mode == "a" else 0)
         self.stats.inc("files_opened")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "file_open", path, mode)
         return handle, 0.0
 
     def _resolve_handle(self, handle: FileHandle) -> Tuple[str, str, "IOManager", float]:
@@ -186,6 +192,9 @@ class IOManager(Manager):
         self._positions[handle] = (len(self._live_store[path])
                                    if mode == "a" else 0)
         self.stats.inc("files_opened")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "file_open", path, mode)
         cb(handle)
 
     def _live_read_local(self, handle: FileHandle, size: int) -> bytes:

@@ -208,6 +208,10 @@ class AttractionMemory(Manager):
         if home_site is not None:
             home_site.attraction_memory.home_dir[addr] = self.local_id
         self.stats.inc("migrations_in")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "mem_migrate_in",
+                    addr.pack(), owner)
 
     # ------------------------------------------------------------------
     # memory objects — message protocol (live kernel path)
@@ -251,6 +255,11 @@ class AttractionMemory(Manager):
                 if reply.payload.get("owned"):
                     self.objects[addr] = value
                     self.stats.inc("migrations_in")
+                    tr = self.tracer
+                    if tr is not None:
+                        tr.emit(self.kernel.now, self.local_id,
+                                "mem_migrate_in", addr.pack(),
+                                reply.src_site)
                 cb(value)
             elif reply.type == MsgType.MEM_LOCATION:
                 self._live_read_at(addr, reply.payload["owner"], cb,
@@ -302,6 +311,11 @@ class AttractionMemory(Manager):
             if msg.payload.get("owned"):
                 self.objects[msg.payload["addr"]] = msg.payload["value"]
                 self.stats.inc("migrations_in")
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(self.kernel.now, self.local_id,
+                            "mem_migrate_in", msg.payload["addr"].pack(),
+                            msg.src_site)
         elif msg.type in (MsgType.MEM_LOCATION, MsgType.MEM_NOT_FOUND):
             self.stats.inc("late_replies_ignored")
         elif msg.type == MsgType.MEM_OBJECT:
@@ -315,6 +329,10 @@ class AttractionMemory(Manager):
             self.site.program_manager.learn_program_wire(info_wire)
         frame = Microframe.from_wire(msg.payload["frame"])
         self.stats.inc("frames_adopted")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "frame_adopted",
+                    frame.frame_id.pack(), msg.src_site)
         self.register_frame(frame)
 
     def _on_mem_read(self, msg: SDMessage) -> None:

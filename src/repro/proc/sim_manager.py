@@ -93,6 +93,10 @@ class SimProcessingManager(Manager):
         self.in_flight += 1
         self.site.journal_event("exec_start", thread=compiled.name,
                                 frame=frame.frame_id.pack())
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "exec_begin",
+                    frame.frame_id.pack(), compiled.name)
         self._execute(frame, compiled)
 
     # ------------------------------------------------------------------
@@ -106,6 +110,10 @@ class SimProcessingManager(Manager):
             self.stats.inc("microthread_errors")
             failure = traceback.format_exc(limit=3)
             self.log("microthread %s raised:\n%s", compiled.name, failure)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "exec_end",
+                        frame.frame_id.pack(), 0.0)
             self._finish_slot(frame)
             self.site.program_manager.local_exit(
                 frame.program, None, failed=True, failure=failure)
@@ -148,6 +156,10 @@ class SimProcessingManager(Manager):
         if epoch != self.site.epoch:
             # execution straddled a recovery; its effects are rolled back
             self.stats.inc("stale_epoch_discarded")
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "exec_end",
+                        frame.frame_id.pack(), 0.0)
             self._finish_slot(frame)
             return
         self.site.dispatch_effects(frame, ctx.effects)
@@ -161,6 +173,10 @@ class SimProcessingManager(Manager):
         self.work_done += ctx.charged_work
         self.site.journal_event("exec_end", frame=frame.frame_id.pack(),
                                 work=ctx.charged_work)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "exec_end",
+                    frame.frame_id.pack(), ctx.charged_work)
         self.site.program_manager.record_execution(frame.program,
                                                    ctx.charged_work)
         self._finish_slot(frame)

@@ -75,6 +75,13 @@ class LiveCluster:
                  transport: str = "inproc") -> None:
         self.config = config or SDVMConfig()
         self._hub = InProcHub() if transport == "inproc" else None
+        #: one structured tracer shared by every site (config.trace);
+        #: list appends are atomic under CPython so reactor threads can
+        #: emit concurrently without locking
+        self.tracer = None
+        if self.config.trace:
+            from repro.trace import Tracer
+            self.tracer = Tracer()
         self.sites: List[SDVMSite] = []
         self.handles: List[LiveHandle] = []
 
@@ -103,7 +110,8 @@ class LiveCluster:
         else:
             raise SDVMError(f"unknown transport {transport!r}")
         kernel = LiveKernel(make_transport, seed=self.config.seed,
-                            name=f"{site_config.name or index}")
+                            name=f"{site_config.name or index}",
+                            tracer=self.tracer)
         return SDVMSite(kernel, self.config, site_config)
 
     def _wait_formed(self, timeout: float = JOIN_TIMEOUT) -> None:
@@ -177,6 +185,23 @@ class LiveCluster:
 
     def crash_site(self, index: int) -> None:
         self.sites[index].crash()
+
+    def cluster_report(self):  # noqa: ANN201 — repro.trace.ClusterReport
+        """Cluster-wide merged stats + derived metrics (``repro stats``)."""
+        from repro.trace import aggregate_cluster
+        return aggregate_cluster(self)
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Export the structured trace for chrome://tracing / Perfetto."""
+        if self.tracer is None:
+            raise SDVMError(
+                "tracing is off — build the cluster with "
+                "SDVMConfig(trace=True) to export a Chrome trace")
+        from repro.trace import write_chrome_trace
+        names = {site.site_id: (site.site_config.name
+                                or f"site {site.site_id}")
+                 for site in self.sites if site.site_id >= 0}
+        return write_chrome_trace(self.tracer, path, site_names=names)
 
     def shutdown(self) -> None:
         """Stop every site (reverse order so heirs outlive leavers)."""

@@ -34,10 +34,14 @@ class LiveKernel(Kernel):
 
     def __init__(self, make_transport: Callable[[Callable[[bytes], None]],
                                                 Transport],
-                 seed: int = 0, name: str = "site") -> None:
+                 seed: int = 0, name: str = "site",
+                 tracer: Optional[Any] = None) -> None:
         """``make_transport`` builds the endpoint given a receive callback
         (which may fire on arbitrary threads — it posts to the reactor)."""
         self.rng = random.Random(seed ^ hash(name) & 0xFFFF)
+        #: shared structured journal; appends are atomic under CPython, so
+        #: the per-site reactor threads need no extra locking
+        self.tracer = tracer
         self._queue: "queue.SimpleQueue[Optional[Tuple[Callable, tuple]]]" = (
             queue.SimpleQueue())
         self._stopping = threading.Event()

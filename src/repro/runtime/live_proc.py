@@ -135,6 +135,10 @@ class LiveProcessingManager(Manager):
         info = self.site.program_manager.get(frame.program)
         ctx = LiveExecutionContext(frame, self.site, info.thread_table())
         epoch = self.site.epoch
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "exec_begin",
+                    frame.frame_id.pack(), compiled.name)
         worker = threading.Thread(
             target=self._worker, args=(frame, compiled, ctx, epoch),
             name=f"sdvm-exec-{self.local_id}", daemon=True)
@@ -153,21 +157,31 @@ class LiveProcessingManager(Manager):
     # -- back on the reactor --------------------------------------------------
     def _complete(self, frame: Microframe, ctx: LiveExecutionContext,
                   epoch: int, error: Optional[str]) -> None:
+        tr = self.tracer
         if error is not None:
             self.stats.inc("microthread_errors")
             self.log("microthread raised:\n%s", error)
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "exec_end",
+                        frame.frame_id.pack(), 0.0)
             self._finish_slot()
             self.site.program_manager.local_exit(
                 frame.program, None, failed=True, failure=error)
             return
         if epoch != self.site.epoch:
             self.stats.inc("stale_epoch_discarded")
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "exec_end",
+                        frame.frame_id.pack(), 0.0)
             self._finish_slot()
             return
         self.site.dispatch_effects(frame, ctx.effects)
         frame.consume()
         self.stats.inc("executions")
         self.stats.add("work_units", ctx.charged_work)
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "exec_end",
+                    frame.frame_id.pack(), ctx.charged_work)
         self.work_done += ctx.charged_work
         self.site.program_manager.record_execution(frame.program,
                                                    ctx.charged_work)

@@ -49,6 +49,10 @@ class SchedulingManager(Manager):
         self.kernel.cpu_charge(self.cost.sched_decision_cost)
         self.executable.append(frame)
         self.stats.inc("frames_enqueued")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "frame_enqueued",
+                    frame.frame_id.pack(), frame.program)
         self._fill_ready()
 
     # ------------------------------------------------------------------
@@ -89,6 +93,7 @@ class SchedulingManager(Manager):
                 self.executable.append(frame)
                 self._fill_ready()
                 return
+            self._code_retries.pop(frame.frame_id, None)
             self.stats.inc("code_unavailable")
             self.site.program_manager.local_exit(
                 frame.program, None, failed=True,
@@ -177,6 +182,9 @@ class SchedulingManager(Manager):
             },
         )
         self.stats.inc("help_sent")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(now, self.local_id, "help_request", target)
         ok = self.site.message_manager.request(
             msg, self._on_help_reply,
             timeout=max(4 * self.config.scheduling.help_retry_interval, 0.05),
@@ -202,6 +210,17 @@ class SchedulingManager(Manager):
         if msg.type != MsgType.HELP_REPLY:
             self.log("unexpected help reply %s", msg.type.name)
             return
+        self._cooldown.clear()
+        self._adopt_steal(msg)
+
+    def _adopt_steal(self, msg: SDMessage) -> None:
+        """Account for one stolen frame arriving via HELP_REPLY.
+
+        Shared by the correlated reply path and the late-reply path in
+        :meth:`handle`, so both count ``steals_in``, journal the steal,
+        reset the help backoff, and take the victim off cooldown — a late
+        reply is still a successful steal.
+        """
         info_wire = msg.payload.get("program_info")
         if info_wire is not None:
             self.site.program_manager.learn_program_wire(info_wire)
@@ -209,8 +228,12 @@ class SchedulingManager(Manager):
         self.stats.inc("steals_in")
         self.site.journal_event("steal_in", victim=msg.src_site,
                                 frame=frame.frame_id.pack())
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "steal_in",
+                    msg.src_site, frame.frame_id.pack())
         self._help_backoff = 1.0
-        self._cooldown.clear()
+        self._cooldown.pop(msg.src_site, None)
         self.enqueue_executable(frame)
 
     def _schedule_retry(self) -> None:
@@ -249,13 +272,13 @@ class SchedulingManager(Manager):
         if msg.type == MsgType.HELP_REQUEST:
             self._on_help_request(msg)
         elif msg.type in (MsgType.HELP_REPLY, MsgType.CANT_HELP):
-            # late reply whose request timed out; recover the frame if any
+            # late reply whose request timed out: a HELP_REPLY still carries
+            # a stolen frame, so run it through the same accounting as the
+            # correlated path (stats, journal, backoff and cooldown reset) —
+            # without touching ``_help_outstanding``, which now belongs to a
+            # newer request, and without clearing other sites' cooldowns
             if msg.type == MsgType.HELP_REPLY:
-                info_wire = msg.payload.get("program_info")
-                if info_wire is not None:
-                    self.site.program_manager.learn_program_wire(info_wire)
-                self.enqueue_executable(
-                    Microframe.from_wire(msg.payload["frame"]))
+                self._adopt_steal(msg)
         else:
             super().handle(msg)
 
@@ -267,10 +290,14 @@ class SchedulingManager(Manager):
                                             msg.payload.get("load", 0.0))
         cfg = self.config.scheduling
         my_load = self.site.site_manager.current_load()
+        tr = self.tracer
         if self.site.paused:
             self.site.message_manager.send(make_reply(
                 msg, MsgType.CANT_HELP, {"load": my_load}))
             self.stats.inc("cant_help_sent")
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "cant_help",
+                        msg.src_site)
             return
         spare = len(self.executable) + len(self.ready)
         if spare > cfg.keep_local_min and self.executable:
@@ -283,7 +310,13 @@ class SchedulingManager(Manager):
             self.site.message_manager.send(make_reply(
                 msg, MsgType.CANT_HELP, {"load": my_load}))
             self.stats.inc("cant_help_sent")
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "cant_help",
+                        msg.src_site)
             return
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "steal_out",
+                    msg.src_site, frame.frame_id.pack())
         payload = {
             "frame": frame.to_wire(),
             "load": my_load,
@@ -304,6 +337,15 @@ class SchedulingManager(Manager):
         self.ready = deque((f, c) for f, c in self.ready if f.program != pid)
         self._pending_code = {fid: f for fid, f in self._pending_code.items()
                               if f.program != pid}
+        # retry budgets key off frame ids, so entries for this program's
+        # frames would otherwise accumulate across program lifetimes
+        if self._code_retries:
+            kept = {f.frame_id for f in self.executable}
+            kept.update(f.frame_id for f, _c in self.ready)
+            kept.update(self._pending_code)
+            self._code_retries = {fid: n
+                                  for fid, n in self._code_retries.items()
+                                  if fid in kept}
 
     def snapshot_frames(self) -> List[Microframe]:
         """Copy of queued frames (checkpoint wave — queues stay in place)."""
@@ -330,6 +372,9 @@ class SchedulingManager(Manager):
         self.executable.clear()
         self.ready.clear()
         self._pending_code.clear()
+        # the frames start fresh on their new site; keeping the retry map
+        # here would leak one entry per relocated frame forever
+        self._code_retries.clear()
         return frames
 
     def queue_depth(self) -> int:

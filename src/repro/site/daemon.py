@@ -59,6 +59,9 @@ class SDVMSite:
         self.log_lines: List[str] = []
         #: optional event journal for repro.trace (config.journal)
         self.journal: List[tuple] = []
+        #: cluster-wide structured tracer (config.trace); managers cache
+        #: this reference at construction and guard every emission
+        self.tracer = kernel.tracer
         self._next_program_serial = 0
 
         # communication layer

@@ -25,6 +25,12 @@ class Kernel(abc.ABC):
 
     rng: random.Random
 
+    #: cluster-wide structured event journal (repro.trace.Tracer), shared
+    #: by every kernel of one run; None unless SDVMConfig(trace=True).
+    #: Managers read it once and guard each emission, so the disabled
+    #: path costs one attribute check and nothing else.
+    tracer: Optional[Any] = None
+
     @property
     @abc.abstractmethod
     def now(self) -> float:

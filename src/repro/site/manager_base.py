@@ -28,6 +28,10 @@ class Manager:
         self.site = site
         self.kernel = site.kernel
         self.stats = StatSet()
+        #: structured tracer, or None when tracing is off.  Emission sites
+        #: follow the pattern ``tr = self.tracer`` / ``if tr is not None:``
+        #: so the disabled hot path never builds an event.
+        self.tracer = site.tracer
 
     # convenient shortcuts -------------------------------------------------
     @property

@@ -81,6 +81,10 @@ class MessageManager(Manager):
         self.kernel.cpu_charge(cpu_cost)
         self.stats.inc("sent")
         self.stats.add("bytes_sent", len(envelope))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "msg_send",
+                    msg.type.name, dst, len(envelope))
         ok = self.kernel.transport_send(physical, envelope)
         if not ok:
             self.stats.inc("send_failed")
@@ -103,6 +107,10 @@ class MessageManager(Manager):
         self.kernel.cpu_charge(cpu_cost)
         self.stats.inc("sent")
         self.stats.add("bytes_sent", len(envelope))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "msg_send",
+                    msg.type.name, msg.dst_site, len(envelope))
         return self.kernel.transport_send(physical, envelope)
 
     def request(self, msg: SDMessage, on_reply: ReplyCallback,
@@ -158,6 +166,10 @@ class MessageManager(Manager):
                          + len(data) * self.cost.crypto_byte_cost)
         self.stats.inc("received")
         self.stats.add("bytes_received", len(data))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "msg_recv",
+                    msg.type.name, msg.src_site, len(data))
         self.kernel.cpu_run(cpu_cost, self._dispatch, msg)
 
     #: message kinds a departed-but-forwarding site relays to its heir

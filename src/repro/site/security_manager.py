@@ -53,6 +53,10 @@ class SecurityManager(Manager):
             payload={"public": pair.public},
         ))
         self.stats.inc("dh_initiated")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "key_exchange",
+                    peer_logical, "init")
 
     def handle(self, msg: SDMessage) -> None:
         if msg.type == MsgType.KEY_EXCHANGE_INIT:
@@ -66,6 +70,10 @@ class SecurityManager(Manager):
             if peer_physical is not None:
                 self.layer.install_session_key(peer_physical, key)
                 self.stats.inc("dh_completed")
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(self.kernel.now, self.local_id, "key_exchange",
+                            msg.src_site, "complete")
         elif msg.type == MsgType.KEY_EXCHANGE_REPLY:
             pair = self._pending_dh.pop(msg.src_site, None)
             if pair is None:
@@ -77,6 +85,10 @@ class SecurityManager(Manager):
             if peer_physical is not None:
                 self.layer.install_session_key(peer_physical, key)
                 self.stats.inc("dh_completed")
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(self.kernel.now, self.local_id, "key_exchange",
+                            msg.src_site, "complete")
         else:
             super().handle(msg)
 

@@ -39,10 +39,12 @@ class SimKernel(Kernel):
     mode = "sim"
 
     def __init__(self, shared: SharedSimState, physical: int,
-                 speed: float, seed: int = 0) -> None:
+                 speed: float, seed: int = 0,
+                 tracer: Optional[Any] = None) -> None:
         self.shared = shared
         self.sim = shared.sim
         self.cpu = CpuModel(shared.sim, speed)
+        self.tracer = tracer
         self._physical = physical
         self.rng = random.Random((seed << 16) ^ physical ^ 0x5DF1)
         self._endpoint: Optional[Any] = None

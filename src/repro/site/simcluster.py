@@ -76,6 +76,11 @@ class SimCluster:
         self.sim = Simulator(seed=self.config.seed)
         self.network = SimNetwork(self.sim, self.config.network, topology)
         self.shared = SharedSimState(self.sim, self.network)
+        #: one structured tracer shared by every site (config.trace)
+        self.tracer = None
+        if self.config.trace:
+            from repro.trace import Tracer
+            self.tracer = Tracer()
         self.debug = debug
         self._sites: List[SDVMSite] = []
         self._next_physical = 0
@@ -96,7 +101,8 @@ class SimCluster:
     # ------------------------------------------------------------------
     def _build_site(self, site_config: SiteConfig) -> SDVMSite:
         kernel = SimKernel(self.shared, physical=self._next_physical,
-                           speed=site_config.speed, seed=self.config.seed)
+                           speed=site_config.speed, seed=self.config.seed,
+                           tracer=self.tracer)
         self._next_physical += 1
         site = SDVMSite(kernel, self.config, site_config, debug=self.debug)
         self._sites.append(site)
@@ -257,6 +263,26 @@ class SimCluster:
             for manager in site.managers.values():
                 merged.merge(manager.stats)
         return merged
+
+    def cluster_report(self):  # noqa: ANN201 — repro.trace.ClusterReport
+        """Cluster-wide merged stats + derived metrics (``repro stats``)."""
+        from repro.trace import aggregate_cluster
+        return aggregate_cluster(self)
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Export the structured trace for chrome://tracing / Perfetto.
+
+        Requires ``SDVMConfig(trace=True)``; returns the event count.
+        """
+        if self.tracer is None:
+            raise SDVMError(
+                "tracing is off — build the cluster with "
+                "SDVMConfig(trace=True) to export a Chrome trace")
+        from repro.trace import write_chrome_trace
+        names = {site.site_id: (site.site_config.name
+                                or f"site {site.site_id}")
+                 for site in self._sites if site.site_id >= 0}
+        return write_chrome_trace(self.tracer, path, site_names=names)
 
     def cpu_report(self) -> Dict[int, dict]:
         """Per-site CPU busy/overhead seconds (sim kernels only)."""

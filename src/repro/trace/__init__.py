@@ -1,16 +1,57 @@
-"""Timeline tooling: inspect where a cluster spent its time.
+"""Observability tooling: structured tracing, Chrome export, cluster stats.
 
-Enable journaling (``SDVMConfig(journal=True)``), run a workload, then::
+Three layers, all fed by the same runs:
 
-    from repro.trace import Timeline
-    timeline = Timeline.from_cluster(cluster)
-    print(timeline.render(width=72))     # ASCII Gantt, one lane per site
-    print(timeline.summary())
+* **Structured tracing** — enable ``SDVMConfig(trace=True)`` and every
+  manager reports typed events (frame lifecycle, steals, code fetches,
+  checkpoint waves, messages, membership, power) into one cluster-wide
+  :class:`Tracer`.  Export it for ``chrome://tracing`` / Perfetto::
 
-Used by ``examples/`` and handy when tuning scheduling policies: the Gantt
-makes ramp-up gaps, steal storms, and barrier tails visible at a glance.
+      from repro.trace import write_chrome_trace
+      write_chrome_trace(cluster.tracer, "run.trace.json")
+
+* **Cluster metrics** — merge every site's per-manager counters into one
+  report with derived metrics (steal success rate, code-cache hit rate,
+  checkpoint-wave cost)::
+
+      from repro.trace import aggregate_cluster
+      print(aggregate_cluster(cluster).render())
+
+* **ASCII timelines** — the lightweight ``SDVMConfig(journal=True)`` path::
+
+      from repro.trace import Timeline
+      print(Timeline.from_cluster(cluster).render(width=72))
+
+CLI surface: ``repro trace <app> -o run.trace.json`` and
+``repro stats <app>``.  Benchmarks dump both artifacts per run when
+``SDVM_TRACE_DIR`` is set (see :mod:`repro.bench.harness`).
 """
 
+from repro.trace.aggregate import (
+    ClusterReport,
+    aggregate_cluster,
+    aggregate_sites,
+    site_stats,
+)
+from repro.trace.chrome import (
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.trace.timeline import Timeline, TraceEvent
+from repro.trace.tracer import EVENT_FIELDS, Tracer, TracerEvent
 
-__all__ = ["Timeline", "TraceEvent"]
+__all__ = [
+    "ClusterReport",
+    "EVENT_FIELDS",
+    "Timeline",
+    "TraceEvent",
+    "Tracer",
+    "TracerEvent",
+    "aggregate_cluster",
+    "aggregate_sites",
+    "site_stats",
+    "to_chrome",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

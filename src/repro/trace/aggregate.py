@@ -1,0 +1,145 @@
+"""Cluster-wide metrics: merge per-site/per-manager StatSets into one report.
+
+Each manager keeps its own :class:`~repro.common.stats.StatSet`; until now
+those counters were only ever read one site at a time.  This module merges
+them across every manager of every site and derives the ratios the paper's
+claims hinge on — steal success rate, code-cache hit rate, checkpoint-wave
+cost — plus (when a tracer journal is available) a per-message-type
+count/byte breakdown.
+
+Works identically for :class:`~repro.site.simcluster.SimCluster` and
+:class:`~repro.runtime.live_cluster.LiveCluster`: both expose ``.sites``
+(daemons with ``.managers``) and an optional ``.tracer``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.stats import StatSet
+from repro.trace.tracer import Tracer
+
+
+def site_stats(site) -> StatSet:  # noqa: ANN001
+    """Merge every manager's counters of one site daemon."""
+    merged = StatSet()
+    for manager in site.managers.values():
+        merged.merge(manager.stats)
+    return merged
+
+
+def _rate(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+class ClusterReport:
+    """Merged counters + derived metrics for one cluster run."""
+
+    def __init__(self, per_site: Dict[int, StatSet], merged: StatSet,
+                 derived: Dict[str, float],
+                 message_breakdown: Dict[str, Dict[str, float]],
+                 horizon: float, nsites: int) -> None:
+        self.per_site = per_site
+        self.merged = merged
+        self.derived = derived
+        self.message_breakdown = message_breakdown
+        self.horizon = horizon
+        self.nsites = nsites
+
+    def as_dict(self) -> dict:
+        return {
+            "nsites": self.nsites,
+            "horizon": self.horizon,
+            "derived": dict(self.derived),
+            "counters": self.merged.as_dict(),
+            "messages": {k: dict(v)
+                         for k, v in self.message_breakdown.items()},
+        }
+
+    # ------------------------------------------------------------------
+    def render(self, top: int = 24) -> str:
+        """Human-readable cluster report (``repro stats``)."""
+        lines = [f"cluster report — {self.nsites} site(s), "
+                 f"horizon {self.horizon:.4f}s"]
+        lines.append("derived metrics:")
+        for name in sorted(self.derived):
+            value = self.derived[name]
+            if isinstance(value, float) and "rate" in name:
+                lines.append(f"  {name:<28s} {100.0 * value:7.1f}%")
+            else:
+                lines.append(f"  {name:<28s} {value:10.4g}")
+        if self.message_breakdown:
+            lines.append("messages by type:")
+            lines.append(f"  {'type':<22s} {'count':>8s} {'bytes':>12s}")
+            ordered = sorted(self.message_breakdown.items(),
+                             key=lambda kv: -kv[1]["count"])
+            for mtype, row in ordered:
+                lines.append(f"  {mtype:<22s} {int(row['count']):8d} "
+                             f"{int(row['bytes']):12d}")
+        counters = sorted(((name, counter.count, counter.total)
+                           for name, counter in self.merged.items()),
+                          key=lambda row: -row[1])
+        lines.append(f"top counters (of {len(counters)}):")
+        lines.append(f"  {'counter':<28s} {'count':>10s} {'total':>14s}")
+        for name, count, total in counters[:top]:
+            lines.append(f"  {name:<28s} {count:10d} {total:14.4g}")
+        return "\n".join(lines)
+
+
+def aggregate_sites(sites: List, tracer: Optional[Tracer] = None,  # noqa: ANN001
+                    horizon: float = 0.0) -> ClusterReport:
+    """Merge stats across ``sites`` and derive cluster-level metrics."""
+    per_site: Dict[int, StatSet] = {}
+    merged = StatSet()
+    busy = busy_sites = 0.0
+    for index, site in enumerate(sites):
+        stats = site_stats(site)
+        per_site[getattr(site, "site_id", index)] = stats
+        merged.merge(stats)
+        cpu = getattr(site.kernel, "cpu", None)
+        if cpu is not None:
+            busy += cpu.busy_total
+            busy_sites += 1
+
+    derived: Dict[str, float] = {
+        "executions": merged.get("executions").count,
+        "work_units": merged.get("work_units").total,
+        "messages_sent": merged.get("sent").count,
+        "bytes_sent": merged.get("bytes_sent").total,
+        "steal_success_rate": _rate(merged.get("steals_in").count,
+                                    merged.get("help_sent").count),
+        "steals_in": merged.get("steals_in").count,
+        "code_hit_rate": _rate(
+            merged.get("hits").count,
+            merged.get("hits").count + merged.get("misses").count),
+        "checkpoint_waves": merged.get("checkpoints_committed").count,
+        "wave_mean_seconds": merged.get("wave_seconds").mean,
+        "recoveries": merged.get("recoveries").count,
+    }
+    if busy_sites and horizon > 0:
+        derived["busy_fraction_mean"] = busy / (busy_sites * horizon)
+
+    message_breakdown: Dict[str, Dict[str, float]] = {}
+    if tracer is not None:
+        for event in tracer.select(kind="msg_send"):
+            mtype, _dst, nbytes = event.fields
+            row = message_breakdown.setdefault(
+                str(mtype), {"count": 0, "bytes": 0})
+            row["count"] += 1
+            row["bytes"] += nbytes
+
+    return ClusterReport(per_site, merged, derived, message_breakdown,
+                         horizon, len(sites))
+
+
+def aggregate_cluster(cluster) -> ClusterReport:  # noqa: ANN001
+    """Build a report straight from a SimCluster or LiveCluster."""
+    sim = getattr(cluster, "sim", None)
+    horizon = sim.now if sim is not None else 0.0
+    if horizon == 0.0:
+        kernels_now = [site.kernel.now for site in cluster.sites
+                       if site.site_id >= 0]
+        horizon = max(kernels_now) if kernels_now else 0.0
+    return aggregate_sites(cluster.sites,
+                           tracer=getattr(cluster, "tracer", None),
+                           horizon=horizon)

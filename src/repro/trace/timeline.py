@@ -20,7 +20,12 @@ class Timeline:
 
     def __init__(self, events: List[TraceEvent], horizon: float) -> None:
         self.events = sorted(events, key=lambda e: (e.time, e.site_index))
-        self.horizon = max(horizon, 1e-12)
+        self.horizon = max(horizon, 0.0)
+        #: events pre-bucketed per site, so render()/summary() stay
+        #: O(events) instead of rescanning the full list per site
+        self._by_site: Dict[int, List[TraceEvent]] = {}
+        for event in self.events:
+            self._by_site.setdefault(event.site_index, []).append(event)
         self._busy = self._pair_intervals()
 
     @classmethod
@@ -56,14 +61,16 @@ class Timeline:
         return busy
 
     def sites(self) -> List[int]:
-        indices = {e.site_index for e in self.events}
+        indices = set(self._by_site)
         indices.update(self._busy)
         return sorted(indices)
 
     def busy_fraction(self, site_index: int) -> float:
         """Fraction of the horizon the site had executions in flight."""
+        if self.horizon <= 0.0:
+            return 0.0
         merged = self._merge(self._busy.get(site_index, []))
-        return sum(hi - lo for lo, hi in merged) / self.horizon
+        return min(sum(hi - lo for lo, hi in merged) / self.horizon, 1.0)
 
     @staticmethod
     def _merge(intervals: List[Tuple[float, float]]
@@ -84,20 +91,22 @@ class Timeline:
         """ASCII Gantt: one lane per site; '#' busy, 's' steal arrival."""
         if not self.events:
             return "(no journal events — enable SDVMConfig(journal=True))"
+        if self.horizon <= 0.0:
+            return (f"(all {len(self.events)} journal events at t=0 — "
+                    f"zero horizon, nothing to draw)")
+        scale = width / self.horizon
         lines = [f"timeline 0 .. {self.horizon:.3f}s "
                  f"({self.horizon / width:.4f}s per column)"]
         for site_index in self.sites():
             row = [" "] * width
             for lo, hi in self._busy.get(site_index, []):
-                a = min(int(lo / self.horizon * width), width - 1)
-                b = min(int(hi / self.horizon * width), width - 1)
+                a = min(int(lo * scale), width - 1)
+                b = min(int(hi * scale), width - 1)
                 for column in range(a, b + 1):
                     row[column] = "#"
-            for event in self.events:
-                if (event.site_index == site_index
-                        and event.kind == "steal_in"):
-                    column = min(int(event.time / self.horizon * width),
-                                 width - 1)
+            for event in self._by_site.get(site_index, ()):
+                if event.kind == "steal_in":
+                    column = min(int(event.time * scale), width - 1)
                     if row[column] == " ":
                         row[column] = "s"
             busy_pct = 100.0 * self.busy_fraction(site_index)
@@ -108,12 +117,9 @@ class Timeline:
     def summary(self) -> str:
         lines = ["site  busy%  executions  steals_in"]
         for site_index in self.sites():
-            executions = sum(1 for e in self.events
-                             if e.site_index == site_index
-                             and e.kind == "exec_end")
-            steals = sum(1 for e in self.events
-                         if e.site_index == site_index
-                         and e.kind == "steal_in")
+            events = self._by_site.get(site_index, ())
+            executions = sum(1 for e in events if e.kind == "exec_end")
+            steals = sum(1 for e in events if e.kind == "steal_in")
             lines.append(f"{site_index:4d} {100 * self.busy_fraction(site_index):5.0f}% "
                          f"{executions:11d} {steals:10d}")
         return "\n".join(lines)

@@ -72,6 +72,41 @@ class TestRun:
         assert "unknown app" in text
 
 
+class TestTraceAndStats:
+    def test_trace_exports_valid_artifact(self, tmp_path):
+        from repro.trace import validate_chrome_trace
+        out = tmp_path / "primes.trace.json"
+        code, text = run_cli("trace", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--out", str(out))
+        assert code == 0
+        assert "perfetto" in text
+        report = validate_chrome_trace(str(out))
+        assert report["slices"] > 0
+
+    def test_run_with_trace_json(self, tmp_path):
+        out = tmp_path / "run.trace.json"
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--trace-json", str(out))
+        assert code == 0
+        assert out.exists()
+        assert "trace events" in text
+
+    def test_stats_prints_cluster_report(self):
+        code, text = run_cli("stats", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000")
+        assert code == 0
+        assert "derived metrics" in text
+        assert "steal_success_rate" in text
+        assert "messages by type" in text
+
+    def test_trace_unknown_app(self):
+        code, text = run_cli("trace", "doom")
+        assert code == 2
+        assert "unknown app" in text
+
+
 class TestTable1:
     def test_unknown_row_rejected(self):
         code, text = run_cli("table1", "--p", "123")

@@ -73,6 +73,83 @@ class TestCheckpointWaves:
         assert durations[0.05] > durations[1.0]
 
 
+class TestWaveAbort:
+    """Regression: a participant dying between CHECKPOINT_ACK and
+    CHECKPOINT_STATE used to wedge the wave forever — ``_states_pending``
+    never drained, so no commit arrived and every paused site stayed
+    paused.  The coordinator now aborts the in-flight wave and fences the
+    stale traffic with the bumped wave id."""
+
+    def _mid_wave_cluster(self):
+        """A joined 3-site cluster with a wave stuck in the state phase."""
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.sim.run(until=0.5)
+        coordinator = cluster.sites[0]
+        cm = coordinator.crash_manager
+        assert cm.is_coordinator()
+        cm.start_checkpoint()
+        wave = cm._wave
+        alive = [r.logical for r in
+                 coordinator.cluster_manager.sites.values() if r.alive]
+        for logical in alive:
+            cm._on_ack(wave, logical)
+        assert not cm._acks_pending
+        assert cm._states_pending  # snapshot phase still outstanding
+        return cluster, cm, wave
+
+    def test_participant_death_aborts_wave_and_resumes(self):
+        cluster, cm, wave = self._mid_wave_cluster()
+        victim = cluster.sites[2]
+        victim_logical = victim.site_id
+        victim.crash()
+        cluster.sites[0].cluster_manager.mark_dead(victim_logical,
+                                                   left=False)
+        assert cm.stats.get("waves_aborted").count == 1
+        assert not cm._acks_pending and not cm._states_pending
+        # a stale CHECKPOINT_STATE from the aborted wave is fenced out
+        cm._on_state(wave, victim_logical, {"stale": True})
+        assert cm.committed_wave == -1
+        assert cm._collected == {}
+        # without a committed checkpoint there is no recovery wave, so the
+        # abort path itself must unpause the survivors
+        cluster.sim.run(until=1.0)
+        survivors = [s for s in cluster.sites if s.running]
+        assert survivors and all(not s.paused for s in survivors)
+        observed = sum(
+            s.crash_manager.stats.get("waves_aborted_observed").count
+            for s in survivors)
+        assert observed == len(survivors)
+        # the abort-resume broadcast must not masquerade as a commit
+        assert all(s.crash_manager.stats.get("waves_committed").count == 0
+                   for s in survivors)
+
+    def test_abort_is_noop_without_inflight_wave(self):
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.sim.run(until=0.5)
+        cm = cluster.sites[0].crash_manager
+        assert not cm._abort_wave("nothing in flight")
+        assert cm.stats.get("waves_aborted").count == 0
+
+    def test_next_wave_commits_after_abort(self):
+        cluster, cm, _wave = self._mid_wave_cluster()
+        coordinator = cluster.sites[0]
+        victim = cluster.sites[2]
+        victim.crash()
+        coordinator.cluster_manager.mark_dead(victim.site_id, left=False)
+        cm.start_checkpoint()
+        wave2 = cm._wave
+        alive = [r.logical for r in
+                 coordinator.cluster_manager.sites.values() if r.alive]
+        assert victim.site_id not in alive
+        for logical in alive:
+            cm._on_ack(wave2, logical)
+        for logical in alive:
+            cm._on_state(wave2, logical, {"site": logical})
+        assert cm.committed_wave == wave2
+        assert set(cm.committed) == set(alive)
+        assert cm.stats.get("checkpoints_committed").count == 1
+
+
 class TestRecovery:
     def test_epoch_increments_on_recovery(self):
         cluster = SimCluster(nsites=3, config=config())

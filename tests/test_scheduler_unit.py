@@ -88,6 +88,120 @@ class TestStarvationFreedom:
         assert handle.result == first_n_primes(30)
 
 
+class TestLateHelpReply:
+    """A HELP_REPLY that arrives after its request timed out still carries
+    a stolen frame; it must run through the same accounting as the
+    correlated reply path (regression: the late path used to re-enqueue
+    the frame but skip ``steals_in``, the journal event, the backoff
+    reset, and the victim's cooldown removal)."""
+
+    @pytest.fixture
+    def running_pair(self, fast_config):
+        from repro.apps import build_primes_program
+        cluster = SimCluster(nsites=2,
+                             config=fast_config.with_(journal=True))
+        handle = cluster.submit(build_primes_program(),
+                                args=(25, 6, 400.0, 4000.0))
+        cluster.sim.run(until=0.05)
+        thief, victim = cluster.sites
+        assert thief.program_manager.is_active(handle.pid)
+        return cluster, thief, victim, handle
+
+    def _late_reply(self, mtype, thief, victim, pid):
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        payload = {"load": 1.0}
+        if mtype is MsgType.HELP_REPLY:
+            frame = Microframe(GlobalAddress(victim.site_id, 7777),
+                               thread_id=0, program=pid, nparams=0)
+            payload["frame"] = frame.to_wire()
+        return SDMessage(
+            type=mtype,
+            src_site=victim.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=thief.site_id, dst_manager=ManagerId.SCHEDULING,
+            payload=payload)
+
+    def test_late_reply_counts_as_steal(self, running_pair):
+        from repro.messages import MsgType
+        _cluster, thief, victim, handle = running_pair
+        sm = thief.scheduling_manager
+        sm._cooldown[victim.site_id] = sm.kernel.now + 100.0
+        sm._cooldown[999] = sm.kernel.now + 100.0
+        sm._help_backoff = 4.0
+        sm._help_outstanding = True
+        steals = sm.stats.get("steals_in").count
+        enqueued = sm.stats.get("frames_enqueued").count
+
+        sm.handle(self._late_reply(MsgType.HELP_REPLY, thief, victim,
+                                   handle.pid))
+
+        assert sm.stats.get("steals_in").count == steals + 1
+        assert sm.stats.get("frames_enqueued").count == enqueued + 1
+        assert any(k == "steal_in" and d.get("victim") == victim.site_id
+                   for _t, k, d in thief.journal)
+        # the victim just proved it can help: off cooldown, backoff reset
+        assert victim.site_id not in sm._cooldown
+        assert sm._help_backoff == 1.0
+        # ...but state belonging to the *newer* request is untouched
+        assert sm._help_outstanding is True
+        assert 999 in sm._cooldown
+
+    def test_late_cant_help_is_ignored(self, running_pair):
+        from repro.messages import MsgType
+        _cluster, thief, victim, handle = running_pair
+        sm = thief.scheduling_manager
+        sm._cooldown[victim.site_id] = until = sm.kernel.now + 100.0
+        steals = sm.stats.get("steals_in").count
+        sm.handle(self._late_reply(MsgType.CANT_HELP, thief, victim,
+                                   handle.pid))
+        assert sm.stats.get("steals_in").count == steals
+        assert sm._cooldown[victim.site_id] == until
+
+
+class TestCodeRetryCleanup:
+    """Regression: ``_code_retries`` entries used to outlive their frames
+    through program teardown and sign-off relocation."""
+
+    @pytest.fixture
+    def manager(self, fast_config):
+        cluster = SimCluster(nsites=1, config=fast_config)
+        cluster.sim.run(until=0.05)
+        return cluster.sites[0].scheduling_manager
+
+    @staticmethod
+    def _frame(local, program):
+        return Microframe(GlobalAddress(0, local), thread_id=0,
+                          program=program, nparams=0)
+
+    def test_drop_program_prunes_stale_budgets(self, manager):
+        kept = self._frame(1, program=7)
+        manager.executable.append(kept)
+        manager._code_retries = {kept.frame_id: 1,
+                                 GlobalAddress(0, 2): 2}
+        manager.drop_program(8)
+        # the orphaned budget (frame no longer queued anywhere) is gone;
+        # the live frame's budget survives
+        assert manager._code_retries == {kept.frame_id: 1}
+        manager.drop_program(7)
+        assert manager._code_retries == {}
+
+    def test_export_frames_clears_budgets(self, manager):
+        frame = self._frame(3, program=7)
+        manager.executable.append(frame)
+        manager._code_retries = {frame.frame_id: 2}
+        exported = manager.export_frames()
+        assert frame in exported
+        assert manager._code_retries == {}
+
+    def test_terminated_program_budget_dropped_on_code_arrival(self,
+                                                               manager):
+        frame = self._frame(4, program=424242)  # never registered
+        manager._pending_code[frame.frame_id] = frame
+        manager._code_retries[frame.frame_id] = 3
+        manager._code_arrived(frame, None)
+        assert frame.frame_id not in manager._code_retries
+
+
 class TestHelpProtocol:
     def test_cant_help_when_queue_low(self, fast_config):
         from dataclasses import replace
