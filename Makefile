@@ -1,13 +1,21 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench smoke-trace
+.PHONY: verify test bench bench-gate smoke-trace
+
+# default CI entry point: unit tests + trace smoke + benchmark gate
+verify: test smoke-trace bench-gate
 
 test:
 	$(PY) -m pytest -q
 
 bench:
 	$(PY) -m pytest -q benchmarks/ --benchmark-only
+
+# fast deterministic benchmark regression gate: runs the gate suites and
+# diffs BENCH_*.json against benchmarks/baselines/ (exit 1 on regression)
+bench-gate:
+	$(PY) -m repro.cli bench --check
 
 # CI smoke for the observability pipeline: run one traced sim benchmark
 # and validate the Chrome trace + stats artifacts it dumps

@@ -23,7 +23,7 @@ from repro.bench import (
 )
 from repro.bench.harness import FULL_SWEEP
 
-from bench_util import write_result
+from bench_util import write_bench_json, write_result
 
 P_VALUES = (100, 200, 500, 1000) if FULL_SWEEP else (100, 200)
 WIDTHS = (10, 20)
@@ -61,6 +61,17 @@ def test_table1_primes(benchmark):
             ])
             benchmark.extra_info[f"S4_p{p}_w{width}"] = round(t1 / t4, 2)
             benchmark.extra_info[f"S8_p{p}_w{width}"] = round(t1 / t8, 2)
+
+    metrics = {}
+    for (p, width), times in measured.items():
+        key = f"p{p}_w{width}"
+        metrics[f"{key}_t1"] = times[1]
+        metrics[f"{key}_s4"] = times[1] / times[4]
+        metrics[f"{key}_s8"] = times[1] / times[8]
+    write_bench_json("table1_primes", metrics,
+                     tolerances={name: 0.10 for name in metrics},
+                     meta={"p_values": list(P_VALUES),
+                           "widths": list(WIDTHS)})
 
     write_result("table1_primes", render_table(
         "Table 1 reproduction: primes on 1/4/8 sites (measured | paper)",

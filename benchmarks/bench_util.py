@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pathlib
+from typing import Dict, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -12,3 +13,12 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(text)
+
+
+def write_bench_json(suite: str, metrics: Dict[str, float],
+                     tolerances: Optional[Dict[str, float]] = None,
+                     meta: Optional[Dict[str, object]] = None) -> str:
+    """Emit a schema'd ``BENCH_<suite>.json`` next to the text results."""
+    from repro.bench import harness
+    return harness.write_bench_json(str(RESULTS_DIR), suite, metrics,
+                                    tolerances=tolerances, meta=meta)

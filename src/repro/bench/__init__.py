@@ -3,8 +3,11 @@
 * :mod:`repro.bench.calibration` — the paper's Table 1 numbers and the
   work-unit calibration that maps our cost model onto the authors'
   Pentium IV seconds.
-* :mod:`repro.bench.harness` — cluster-run helpers and plain-text table
-  rendering shared by everything under ``benchmarks/``.
+* :mod:`repro.bench.harness` — cluster-run helpers, plain-text table
+  rendering, and the machine-readable ``BENCH_*.json`` layer shared by
+  everything under ``benchmarks/``.
+* :mod:`repro.bench.suites` — the deterministic gate suites behind
+  ``repro bench`` / ``make bench-gate``.
 """
 
 from repro.bench.calibration import (
@@ -13,20 +16,38 @@ from repro.bench.calibration import (
     calibrated_test_params,
 )
 from repro.bench.harness import (
+    BENCH_SCHEMA,
+    DEFAULT_REL_TOL,
     bench_config,
+    bench_doc,
+    cluster_bench_metrics,
+    compare_metrics,
     dump_trace_artifact,
-    run_primes,
+    load_bench_json,
     render_table,
+    render_violations,
+    run_primes,
     speedup_row,
+    write_bench_json,
 )
+from repro.bench.suites import GATE_SUITES
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_REL_TOL",
+    "GATE_SUITES",
     "PAPER_TABLE1",
     "PAPER_OVERHEAD_PERCENT",
     "bench_config",
+    "bench_doc",
     "calibrated_test_params",
+    "cluster_bench_metrics",
+    "compare_metrics",
     "dump_trace_artifact",
-    "run_primes",
+    "load_bench_json",
     "render_table",
+    "render_violations",
+    "run_primes",
     "speedup_row",
+    "write_bench_json",
 ]

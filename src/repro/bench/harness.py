@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,6 +63,130 @@ def run_primes(p: int, width: int, nsites: int, scale: float, base: float,
 
 def speedup_row(t1: float, tn: Dict[int, float]) -> Dict[int, float]:
     return {n: t1 / t for n, t in tn.items()}
+
+
+# ---------------------------------------------------------------------------
+# machine-readable bench artifacts + the regression comparator
+
+#: schema tag every BENCH_*.json carries; bump on incompatible change
+BENCH_SCHEMA = "sdvm-bench/1"
+
+#: relative tolerance applied to any metric without its own entry
+DEFAULT_REL_TOL = 0.05
+
+
+def cluster_bench_metrics(cluster: SimCluster,
+                          prefix: str = "") -> Dict[str, float]:
+    """Flat metric dict for one finished cluster run.
+
+    Pulls the derived metrics from :mod:`repro.trace.aggregate` and, when
+    the run was traced, the blame-category fractions of total cluster time
+    from :mod:`repro.trace.blame` — so a regression in *why* time is spent
+    (more steal-wait, less compute) trips the gate even if end-to-end
+    timing barely moves.
+    """
+    out: Dict[str, float] = {}
+    report = cluster.cluster_report()
+    for name, value in report.derived.items():
+        out[f"{prefix}{name}"] = float(value)
+    if cluster.tracer is not None:
+        from repro.trace.blame import blame_cluster
+        blame = blame_cluster(cluster)
+        denom = blame.cluster_seconds or 1.0
+        for category, seconds in blame.totals.items():
+            out[f"{prefix}blame_{category}_frac"] = seconds / denom
+    return out
+
+
+def bench_doc(suite: str, metrics: Dict[str, float],
+              tolerances: Optional[Dict[str, float]] = None,
+              meta: Optional[Dict[str, object]] = None) -> dict:
+    """Assemble one schema'd bench document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "metrics": {name: float(value)
+                    for name, value in sorted(metrics.items())},
+        "tolerances": dict(sorted((tolerances or {}).items())),
+        "meta": dict(meta or {}),
+    }
+
+
+def write_bench_json(directory: str, suite: str,
+                     metrics: Dict[str, float],
+                     tolerances: Optional[Dict[str, float]] = None,
+                     meta: Optional[Dict[str, object]] = None) -> str:
+    """Write ``BENCH_<suite>.json`` under ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{suite}.json")
+    doc = bench_doc(suite, metrics, tolerances, meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench_json(path: str) -> dict:
+    """Load + schema-check one bench document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise SDVMError(
+            f"{path}: unsupported bench schema {doc.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA})")
+    if not isinstance(doc.get("metrics"), dict):
+        raise SDVMError(f"{path}: metrics missing or not a dict")
+    return doc
+
+
+def compare_metrics(current: Dict[str, float], baseline: dict,
+                    default_rel_tol: float = DEFAULT_REL_TOL) -> List[dict]:
+    """Diff ``current`` metrics against a baseline document.
+
+    Every baseline metric must be present in ``current`` and within its
+    tolerance (the baseline's per-metric entry, else ``default_rel_tol``,
+    relative to the baseline value; for a zero baseline the tolerance is
+    read as an absolute bound).  Metrics present only in ``current`` are
+    ignored — adding instrumentation must not fail the gate.  Returns the
+    list of violations (empty = pass).
+    """
+    tolerances = baseline.get("tolerances", {})
+    violations: List[dict] = []
+    for name, expected in baseline["metrics"].items():
+        tol = float(tolerances.get(name, default_rel_tol))
+        got = current.get(name)
+        if got is None:
+            violations.append({
+                "metric": name, "baseline": expected, "current": None,
+                "tolerance": tol, "reason": "missing from current run"})
+            continue
+        if expected == 0.0:
+            deviation = abs(got)
+            ok = deviation <= tol
+        else:
+            deviation = abs(got - expected) / abs(expected)
+            ok = deviation <= tol
+        if not ok:
+            violations.append({
+                "metric": name, "baseline": expected, "current": got,
+                "tolerance": tol, "deviation": deviation,
+                "reason": "outside tolerance"})
+    return violations
+
+
+def render_violations(suite: str, violations: List[dict]) -> str:
+    lines = [f"bench gate FAILED for suite {suite!r}:"]
+    for v in violations:
+        if v["current"] is None:
+            lines.append(f"  {v['metric']:<32s} missing "
+                         f"(baseline {v['baseline']:.6g})")
+        else:
+            lines.append(
+                f"  {v['metric']:<32s} baseline {v['baseline']:.6g} "
+                f"current {v['current']:.6g} "
+                f"deviation {100.0 * v['deviation']:.1f}% "
+                f"> tol {100.0 * v['tolerance']:.1f}%")
+    return "\n".join(lines)
 
 
 def render_table(title: str, header: Sequence[str],

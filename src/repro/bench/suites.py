@@ -1,0 +1,82 @@
+"""Deterministic gate suites for the benchmark regression gate.
+
+Each suite is a small, fully deterministic sim-kernel run (fixed seed,
+fixed workload) that produces a flat metric dict plus per-metric
+tolerances.  ``repro bench`` runs them, writes ``BENCH_<suite>.json``
+artifacts, and ``repro bench --check`` diffs them against the committed
+baselines under ``benchmarks/baselines/``.
+
+Tolerances are headroom for *intentional* small changes (e.g. a wire
+format tweak shifts every virtual timestamp slightly); an unchanged
+codebase reproduces the baselines exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.bench.harness import bench_config, cluster_bench_metrics, run_primes
+
+MetricsAndTols = Tuple[Dict[str, float], Dict[str, float]]
+
+#: loose bounds for inherently schedule-sensitive metrics; timings and
+#: counts fall back to the comparator's default (5%)
+_RATE_TOL = 0.30
+_BLAME_TOL = 0.35
+
+
+def _gate_config():
+    # trace=True unconditionally: the blame fractions are part of the gate
+    return bench_config(trace=True)
+
+
+def primes_speedup_suite() -> MetricsAndTols:
+    """primes(25, w=6) on 1/4/8 sites: timings, speedups, blame split."""
+    p, width, scale, base = 25, 6, 400.0, 4000.0
+    timings: Dict[int, float] = {}
+    cluster8 = None
+    for nsites in (1, 4, 8):
+        duration, cluster = run_primes(p, width, nsites, scale, base,
+                                       config=_gate_config())
+        timings[nsites] = duration
+        if nsites == 8:
+            cluster8 = cluster
+    metrics: Dict[str, float] = {
+        "t_1": timings[1],
+        "t_4": timings[4],
+        "t_8": timings[8],
+        "speedup_4": timings[1] / timings[4],
+        "speedup_8": timings[1] / timings[8],
+    }
+    metrics.update(cluster_bench_metrics(cluster8, prefix="s8_"))
+    tolerances = {
+        "s8_steal_success_rate": _RATE_TOL,
+        "s8_messages_sent": 0.15,
+        "s8_bytes_sent": 0.15,
+        "s8_steals_in": _RATE_TOL,
+    }
+    for name in metrics:
+        if name.startswith("s8_blame_"):
+            tolerances[name] = _BLAME_TOL
+    return metrics, tolerances
+
+
+def overhead_1site_suite() -> MetricsAndTols:
+    """Single-site primes run: protocol overhead must stay small."""
+    duration, cluster = run_primes(20, 6, 1, 400.0, 4000.0,
+                                   config=_gate_config())
+    metrics: Dict[str, float] = {"t_1": duration}
+    metrics.update(cluster_bench_metrics(cluster, prefix="s1_"))
+    tolerances = {}
+    for name in metrics:
+        if name.startswith("s1_blame_"):
+            tolerances[name] = _BLAME_TOL
+    return metrics, tolerances
+
+
+#: suite name -> callable producing (metrics, tolerances); the fast
+#: subset run by ``make bench-gate``
+GATE_SUITES: Dict[str, Callable[[], MetricsAndTols]] = {
+    "primes_speedup": primes_speedup_suite,
+    "overhead_1site": overhead_1site_suite,
+}

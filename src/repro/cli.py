@@ -8,12 +8,21 @@ Usage (installed as a module)::
     python -m repro.cli run mergesort --sites 4 --args 2000 64 1 --invoice
     python -m repro.cli trace primes --sites 4 --out primes.json
     python -m repro.cli stats primes --sites 4
+    python -m repro.cli blame primes --sites 8    # where did the time go?
+    python -m repro.cli critical-path primes --sites 8
+    python -m repro.cli bench --check             # regression gate
     python -m repro.cli table1 --p 100            # one Table-1 row
 
 ``run`` builds a simulated cluster, executes the program, prints its
 frontend output, result summary, and (optionally) a timeline and invoice.
 ``trace`` exports a Chrome/Perfetto trace of the run; ``stats`` prints the
 cluster-wide metrics report (derived steal/code-cache/checkpoint ratios).
+``blame`` attributes every site-second of the run to a category (compute,
+steal-wait, code-fetch, checkpoint-pause, message-latency, idle) from the
+causal trace; ``critical-path`` walks the causal chain that determined
+the end-to-end runtime.  ``bench`` runs the deterministic gate suites,
+writes ``BENCH_<suite>.json`` artifacts, and with ``--check`` diffs them
+against the committed baselines (non-zero exit on regression).
 """
 
 from __future__ import annotations
@@ -163,6 +172,88 @@ def cmd_stats(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     return 0
 
 
+def cmd_blame(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run an app traced and print the critical-path blame report."""
+    cluster, handle = _run_app(args, out, trace=True)
+    if cluster is None:
+        return 2
+    from repro.trace import blame_cluster
+    report = blame_cluster(cluster)
+    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
+          f"site(s)", file=out)
+    print(report.render(), file=out)
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote blame report to {args.json}", file=out)
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run an app traced and print the end-to-end critical path."""
+    cluster, handle = _run_app(args, out, trace=True)
+    if cluster is None:
+        return 2
+    from repro.trace import CausalGraph, render_critical_path
+    graph = CausalGraph.from_tracer(cluster.tracer)
+    segments = graph.critical_path()
+    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
+          f"site(s)", file=out)
+    print(render_critical_path(segments, summary_only=args.summary),
+          file=out)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run the gate suites; optionally check against / refresh baselines."""
+    import os
+
+    from repro.bench import (
+        GATE_SUITES,
+        compare_metrics,
+        load_bench_json,
+        render_violations,
+        write_bench_json,
+    )
+
+    names = args.suites or sorted(GATE_SUITES)
+    unknown = [n for n in names if n not in GATE_SUITES]
+    if unknown:
+        print(f"unknown suite(s): {', '.join(unknown)}; available: "
+              f"{', '.join(sorted(GATE_SUITES))}", file=out)
+        return 2
+
+    target_dir = args.baselines if args.update_baselines else args.out
+    failed = False
+    for name in names:
+        metrics, tolerances = GATE_SUITES[name]()
+        path = write_bench_json(target_dir, name, metrics,
+                                tolerances=tolerances)
+        print(f"{name}: {len(metrics)} metrics -> {path}", file=out)
+        if not args.check:
+            continue
+        baseline_path = os.path.join(args.baselines, f"BENCH_{name}.json")
+        if not os.path.exists(baseline_path):
+            print(f"bench gate FAILED: no baseline at {baseline_path} "
+                  f"(run `repro bench --update-baselines`)", file=out)
+            failed = True
+            continue
+        violations = compare_metrics(metrics,
+                                     load_bench_json(baseline_path))
+        if violations:
+            print(render_violations(name, violations), file=out)
+            failed = True
+        else:
+            print(f"{name}: within tolerance of {baseline_path}", file=out)
+    if failed:
+        return 1
+    if args.check:
+        print("bench gate PASSED", file=out)
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     from repro.bench import (
         PAPER_TABLE1,
@@ -234,6 +325,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="how many counters to print")
     stats_parser.add_argument("--seed", type=int, default=0)
 
+    blame_parser = sub.add_parser(
+        "blame", help="attribute the run's wall time to causes")
+    blame_parser.add_argument("app")
+    blame_parser.add_argument("--sites", type=int, default=4)
+    blame_parser.add_argument("--args", nargs="*", default=[],
+                              help="program arguments (see `apps`)")
+    blame_parser.add_argument("--json", metavar="PATH", default="",
+                              help="also dump the report as JSON")
+    blame_parser.add_argument("--seed", type=int, default=0)
+
+    cp_parser = sub.add_parser(
+        "critical-path", help="print the causal chain that bounded the run")
+    cp_parser.add_argument("app")
+    cp_parser.add_argument("--sites", type=int, default=4)
+    cp_parser.add_argument("--args", nargs="*", default=[],
+                           help="program arguments (see `apps`)")
+    cp_parser.add_argument("--summary", action="store_true",
+                           help="category totals only, no segment list")
+    cp_parser.add_argument("--seed", type=int, default=0)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the deterministic benchmark gate suites")
+    bench_parser.add_argument("--suites", nargs="*", default=[],
+                              help="suite names (default: all)")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="compare against committed baselines; "
+                                   "exit 1 on regression")
+    bench_parser.add_argument("--update-baselines", action="store_true",
+                              help="write results into the baselines dir")
+    bench_parser.add_argument("--out", default="benchmarks/results",
+                              help="output dir for BENCH_*.json artifacts")
+    bench_parser.add_argument("--baselines", default="benchmarks/baselines",
+                              help="committed baseline dir")
+
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
     table_parser.add_argument("--p", type=int, default=100)
@@ -249,6 +374,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
         "run": cmd_run,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "blame": cmd_blame,
+        "critical-path": cmd_critical_path,
+        "bench": cmd_bench,
         "table1": cmd_table1,
     }
     return handlers[args.command](args, out)

@@ -31,6 +31,9 @@ class CodeManager(Manager):
         self._binaries: Dict[Tuple[int, int, str], bytes] = {}
         self._compiled: Dict[Key, CompiledMicrothread] = {}
         self._pending: Dict[Key, List[CodeCallback]] = {}
+        #: send time of each in-flight remote fetch (latency stats + the
+        #: code_fetch_done trace event that closes the blame window)
+        self._inflight_remote: Dict[Key, float] = {}
 
     @property
     def platform(self) -> str:
@@ -86,6 +89,13 @@ class CodeManager(Manager):
 
     def _finish(self, key: Key,
                 compiled: Optional[CompiledMicrothread]) -> None:
+        sent_at = self._inflight_remote.pop(key, None)
+        if sent_at is not None:
+            self.stats.observe("fetch_latency", self.kernel.now - sent_at)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "code_fetch_done",
+                        key[0], key[1], compiled is not None)
         callbacks = self._pending.pop(key, [])
         for callback in callbacks:
             callback(compiled)
@@ -170,6 +180,7 @@ class CodeManager(Manager):
             payload={"pid": pid, "tid": tid, "platform": self.platform},
         )
         self.stats.inc("requests_sent")
+        self._inflight_remote[key] = self.kernel.now
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "code_fetch",

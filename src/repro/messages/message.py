@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -86,6 +87,12 @@ class MsgType(enum.IntEnum):
     SHUTDOWN = 97
 
 
+#: fixed-width causal stamp: cause_id+1 as unsigned 64-bit (packed node
+#: ids use the two top tag bits, so +1 keeps -1 encodable), origin_site
+#: as signed 64-bit
+_STAMP = struct.Struct(">Qq")
+
+
 @dataclass(slots=True)
 class SDMessage:
     """One manager-to-manager message.
@@ -109,9 +116,21 @@ class SDMessage:
     #: managers keep fresh "statistical data about e. g. the other sites'
     #: load" (§4) without dedicated traffic.  -1 = not supplied.
     src_load: float = -1.0
+    #: causal context, stamped by the sending message manager when tracing
+    #: is enabled: ``origin_site`` is the site where this causal chain was
+    #: rooted, ``cause_id`` the packed node id of the event that caused the
+    #: send (see :mod:`repro.trace.causal`).  -1 = unstamped / chain root.
+    origin_site: int = -1
+    cause_id: int = -1
 
     def encode(self) -> bytes:
-        """Serialize to wire bytes (header tuple + payload dict)."""
+        """Serialize to wire bytes (header tuple + payload dict).
+
+        The causal stamp travels as a fixed-width 16-byte blob (not
+        varints): its value changes between traced and untraced runs, and
+        a value-dependent size would feed back into the simulated byte
+        costs — enabling tracing must not perturb timing.
+        """
         return dumps((
             int(self.type),
             self.src_site,
@@ -122,16 +141,21 @@ class SDMessage:
             self.seq,
             self.reply_to,
             self.src_load,
+            _STAMP.pack(self.cause_id + 1, self.origin_site),
             self.payload,
         ))
 
     @classmethod
     def decode(cls, data: bytes) -> "SDMessage":
         obj = loads(data)
-        if not isinstance(obj, tuple) or len(obj) != 10:
+        if not isinstance(obj, tuple) or len(obj) != 11:
             raise SerializationError("malformed SDMessage envelope")
         (mtype, src_site, src_mgr, dst_site, dst_mgr,
-         program, seq, reply_to, src_load, payload) = obj
+         program, seq, reply_to, src_load, stamp, payload) = obj
+        if not isinstance(stamp, bytes) or len(stamp) != _STAMP.size:
+            raise SerializationError("malformed SDMessage causal stamp")
+        cause_plus_one, origin_site = _STAMP.unpack(stamp)
+        cause_id = cause_plus_one - 1
         try:
             msg_type = MsgType(mtype)
             src_manager = ManagerId(src_mgr)
@@ -151,6 +175,8 @@ class SDMessage:
             seq=seq,
             reply_to=reply_to,
             src_load=src_load,
+            origin_site=origin_site,
+            cause_id=cause_id,
         )
 
     def wire_size(self) -> int:

@@ -28,6 +28,7 @@ from repro.core.frames import Microframe
 from repro.core.threads import CompiledMicrothread
 from repro.proc.sim_context import SimExecutionContext
 from repro.site.manager_base import Manager
+from repro.trace.causal import exec_node
 
 
 class SimProcessingManager(Manager):
@@ -96,7 +97,8 @@ class SimProcessingManager(Manager):
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "exec_begin",
-                    frame.frame_id.pack(), compiled.name)
+                    frame.frame_id.pack(), compiled.name,
+                    frame.cause_node, frame.cause_origin)
         self._execute(frame, compiled)
 
     # ------------------------------------------------------------------
@@ -162,6 +164,24 @@ class SimProcessingManager(Manager):
                         frame.frame_id.pack(), 0.0)
             self._finish_slot(frame)
             return
+        tr = self.tracer
+        if tr is None:
+            self._commit(frame, ctx)
+            return
+        # everything the completing execution triggers — result messages,
+        # child frames, the kick that refills the slot — is caused by this
+        # execution's node in the causal DAG
+        site = self.site
+        prev_node, prev_origin = site.cause_node, site.cause_origin
+        site.cause_node = exec_node(frame.frame_id.pack())
+        site.cause_origin = (frame.cause_origin
+                             if frame.cause_origin >= 0 else self.local_id)
+        try:
+            self._commit(frame, ctx)
+        finally:
+            site.cause_node, site.cause_origin = prev_node, prev_origin
+
+    def _commit(self, frame: Microframe, ctx: SimExecutionContext) -> None:
         self.site.dispatch_effects(frame, ctx.effects)
         frame.consume()
         # all accounting happens at completion, in lockstep with the

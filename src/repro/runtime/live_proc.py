@@ -19,6 +19,7 @@ from repro.core.context import Effect, ExecutionContext
 from repro.core.frames import Microframe
 from repro.core.threads import CompiledMicrothread
 from repro.site.manager_base import Manager
+from repro.trace.causal import exec_node
 
 #: how long a blocking context operation may wait for the cluster
 OP_TIMEOUT = 10.0
@@ -138,7 +139,8 @@ class LiveProcessingManager(Manager):
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "exec_begin",
-                    frame.frame_id.pack(), compiled.name)
+                    frame.frame_id.pack(), compiled.name,
+                    frame.cause_node, frame.cause_origin)
         worker = threading.Thread(
             target=self._worker, args=(frame, compiled, ctx, epoch),
             name=f"sdvm-exec-{self.local_id}", daemon=True)
@@ -175,17 +177,29 @@ class LiveProcessingManager(Manager):
                         frame.frame_id.pack(), 0.0)
             self._finish_slot()
             return
-        self.site.dispatch_effects(frame, ctx.effects)
-        frame.consume()
-        self.stats.inc("executions")
-        self.stats.add("work_units", ctx.charged_work)
+        site = self.site
+        prev_node, prev_origin = site.cause_node, site.cause_origin
         if tr is not None:
-            tr.emit(self.kernel.now, self.local_id, "exec_end",
-                    frame.frame_id.pack(), ctx.charged_work)
-        self.work_done += ctx.charged_work
-        self.site.program_manager.record_execution(frame.program,
-                                                   ctx.charged_work)
-        self._finish_slot()
+            # completion runs on the reactor, so the same single-threaded
+            # set/restore discipline as the sim manager applies
+            site.cause_node = exec_node(frame.frame_id.pack())
+            site.cause_origin = (frame.cause_origin
+                                 if frame.cause_origin >= 0 else self.local_id)
+        try:
+            self.site.dispatch_effects(frame, ctx.effects)
+            frame.consume()
+            self.stats.inc("executions")
+            self.stats.add("work_units", ctx.charged_work)
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "exec_end",
+                        frame.frame_id.pack(), ctx.charged_work)
+            self.work_done += ctx.charged_work
+            self.site.program_manager.record_execution(frame.program,
+                                                       ctx.charged_work)
+            self._finish_slot()
+        finally:
+            if tr is not None:
+                site.cause_node, site.cause_origin = prev_node, prev_origin
 
     def _finish_slot(self) -> None:
         self.in_flight = max(0, self.in_flight - 1)

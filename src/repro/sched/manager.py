@@ -35,6 +35,8 @@ class SchedulingManager(Manager):
         self._cooldown: Dict[int, float] = {}
         #: per-frame code-fetch retry budget
         self._code_retries: Dict[GlobalAddress, int] = {}
+        #: send time of the outstanding help request (tail latency stats)
+        self._help_sent_at = -1.0
 
     # ------------------------------------------------------------------
     # intake
@@ -51,6 +53,12 @@ class SchedulingManager(Manager):
         self.stats.inc("frames_enqueued")
         tr = self.tracer
         if tr is not None:
+            # the frame becomes executable under the current causal context
+            # (the message that delivered its last parameter, the stolen
+            # frame's HELP_REPLY, or the parent execution) — remember it so
+            # exec_begin can link the execution into the DAG.
+            frame.cause_node = self.site.cause_node
+            frame.cause_origin = self.site.cause_origin
             tr.emit(self.kernel.now, self.local_id, "frame_enqueued",
                     frame.frame_id.pack(), frame.program)
         self._fill_ready()
@@ -182,6 +190,7 @@ class SchedulingManager(Manager):
             },
         )
         self.stats.inc("help_sent")
+        self._help_sent_at = now
         tr = self.tracer
         if tr is not None:
             tr.emit(now, self.local_id, "help_request", target)
@@ -201,6 +210,10 @@ class SchedulingManager(Manager):
 
     def _on_help_reply(self, msg: SDMessage) -> None:
         self._help_outstanding = False
+        if self._help_sent_at >= 0:
+            self.stats.observe("help_latency",
+                               self.kernel.now - self._help_sent_at)
+            self._help_sent_at = -1.0
         self.site.cluster_manager.note_load(msg.src_site,
                                             msg.payload.get("load", 0.0))
         if msg.type == MsgType.CANT_HELP:
@@ -332,11 +345,16 @@ class SchedulingManager(Manager):
     # bookkeeping
 
     def drop_program(self, pid: int) -> None:
+        before = self.queue_depth()
         self.executable = deque(f for f in self.executable
                                 if f.program != pid)
         self.ready = deque((f, c) for f, c in self.ready if f.program != pid)
         self._pending_code = {fid: f for fid, f in self._pending_code.items()
                               if f.program != pid}
+        # every queued frame of the dead program is a termination drop —
+        # counted so frame conservation (enqueues vs outcomes) stays exact
+        for _ in range(before - self.queue_depth()):
+            self.stats.inc("frames_dropped_terminated")
         # retry budgets key off frame ids, so entries for this program's
         # frames would otherwise accumulate across program lifetimes
         if self._code_retries:

@@ -62,6 +62,12 @@ class SDVMSite:
         #: cluster-wide structured tracer (config.trace); managers cache
         #: this reference at construction and guard every emission
         self.tracer = kernel.tracer
+        #: causal context (tracing only): packed node id of the message or
+        #: execution this site is currently handling, and the site that
+        #: rooted the chain.  Written exclusively by the message manager's
+        #: dispatch and the processing managers' completion path; -1 = root.
+        self.cause_node = -1
+        self.cause_origin = -1
         self._next_program_serial = 0
 
         # communication layer

@@ -19,6 +19,7 @@ from repro.common.errors import SecurityError, SerializationError
 from repro.common.ids import ManagerId
 from repro.messages import MsgType, SDMessage
 from repro.site.manager_base import Manager
+from repro.trace.causal import msg_node
 
 #: callback invoked with the reply message
 ReplyCallback = Callable[[SDMessage], None]
@@ -50,6 +51,14 @@ class MessageManager(Manager):
             self._next_seq += 1
         if msg.src_load < 0 and self.site.running:
             msg.src_load = self.site.site_manager.current_load()
+        # causal stamp (tracing only — the disabled path never writes it):
+        # the send inherits whatever causal context this site is currently
+        # executing under (an incoming message or a frame execution).
+        if self.tracer is not None and msg.cause_id < 0:
+            site = self.site
+            msg.cause_id = site.cause_node
+            msg.origin_site = (site.cause_origin if site.cause_origin >= 0
+                               else self.local_id)
 
     def send(self, msg: SDMessage) -> bool:
         """Send ``msg``; returns False if the target cannot be resolved.
@@ -64,6 +73,10 @@ class MessageManager(Manager):
             # local loopback: no serialization/network, small dispatch cost
             self.stats.inc("local_messages")
             msg.dst_site = dst
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "msg_local",
+                        msg.type.name, msg.seq, msg.cause_id, msg.origin_site)
             self.kernel.cpu_run(self.cost.sched_decision_cost,
                                 self._dispatch, msg)
             return True
@@ -84,7 +97,8 @@ class MessageManager(Manager):
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "msg_send",
-                    msg.type.name, dst, len(envelope))
+                    msg.type.name, dst, len(envelope), msg.seq,
+                    msg.cause_id, msg.origin_site)
         ok = self.kernel.transport_send(physical, envelope)
         if not ok:
             self.stats.inc("send_failed")
@@ -110,7 +124,8 @@ class MessageManager(Manager):
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "msg_send",
-                    msg.type.name, msg.dst_site, len(envelope))
+                    msg.type.name, msg.dst_site, len(envelope), msg.seq,
+                    msg.cause_id, msg.origin_site)
         return self.kernel.transport_send(physical, envelope)
 
     def request(self, msg: SDMessage, on_reply: ReplyCallback,
@@ -169,7 +184,7 @@ class MessageManager(Manager):
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "msg_recv",
-                    msg.type.name, msg.src_site, len(data))
+                    msg.type.name, msg.src_site, len(data), msg.seq)
         self.kernel.cpu_run(cpu_cost, self._dispatch, msg)
 
     #: message kinds a departed-but-forwarding site relays to its heir
@@ -195,6 +210,25 @@ class MessageManager(Manager):
         self.kernel.transport_send(physical, envelope)
 
     def _dispatch(self, msg: SDMessage) -> None:
+        tr = self.tracer
+        if tr is None:
+            self._dispatch_inner(msg)
+            return
+        # causal context: everything this handler does (sends, frame
+        # enqueues) is caused by this message.  Restored on exit so nested
+        # loopback dispatches under the sim kernel unwind correctly.
+        site = self.site
+        prev_node, prev_origin = site.cause_node, site.cause_origin
+        if msg.src_site >= 0 and msg.seq >= 0:
+            site.cause_node = msg_node(msg.src_site, msg.seq)
+            site.cause_origin = (msg.origin_site if msg.origin_site >= 0
+                                 else msg.src_site)
+        try:
+            self._dispatch_inner(msg)
+        finally:
+            site.cause_node, site.cause_origin = prev_node, prev_origin
+
+    def _dispatch_inner(self, msg: SDMessage) -> None:
         if self.site.stopped:
             return
         if self.site.forward_to is not None:

@@ -33,6 +33,13 @@ from repro.trace.aggregate import (
     aggregate_sites,
     site_stats,
 )
+from repro.trace.blame import (
+    BlameReport,
+    blame_cluster,
+    blame_sites,
+    render_critical_path,
+)
+from repro.trace.causal import CausalGraph, CausalNode, exec_node, msg_node
 from repro.trace.chrome import (
     to_chrome,
     validate_chrome_trace,
@@ -42,6 +49,9 @@ from repro.trace.timeline import Timeline, TraceEvent
 from repro.trace.tracer import EVENT_FIELDS, Tracer, TracerEvent
 
 __all__ = [
+    "BlameReport",
+    "CausalGraph",
+    "CausalNode",
     "ClusterReport",
     "EVENT_FIELDS",
     "Timeline",
@@ -50,6 +60,11 @@ __all__ = [
     "TracerEvent",
     "aggregate_cluster",
     "aggregate_sites",
+    "blame_cluster",
+    "blame_sites",
+    "exec_node",
+    "msg_node",
+    "render_critical_path",
     "site_stats",
     "to_chrome",
     "validate_chrome_trace",

@@ -54,6 +54,8 @@ class ClusterReport:
             "counters": self.merged.as_dict(),
             "messages": {k: dict(v)
                          for k, v in self.message_breakdown.items()},
+            "latency_tails": {name: hist.as_dict()
+                              for name, hist in self.merged.hist_items()},
         }
 
     # ------------------------------------------------------------------
@@ -61,6 +63,9 @@ class ClusterReport:
         """Human-readable cluster report (``repro stats``)."""
         lines = [f"cluster report — {self.nsites} site(s), "
                  f"horizon {self.horizon:.4f}s"]
+        if self.nsites == 0:
+            lines.append("(empty cluster — nothing to report)")
+            return "\n".join(lines)
         lines.append("derived metrics:")
         for name in sorted(self.derived):
             value = self.derived[name]
@@ -68,6 +73,15 @@ class ClusterReport:
                 lines.append(f"  {name:<28s} {100.0 * value:7.1f}%")
             else:
                 lines.append(f"  {name:<28s} {value:10.4g}")
+        tails = list(self.merged.hist_items())
+        if tails:
+            lines.append("latency tails:")
+            lines.append(f"  {'histogram':<22s} {'count':>7s} {'p50':>10s} "
+                         f"{'p95':>10s} {'max':>10s}")
+            for name, hist in tails:
+                lines.append(f"  {name:<22s} {hist.count:7d} "
+                             f"{hist.p50:10.4g} {hist.p95:10.4g} "
+                             f"{hist.max:10.4g}")
         if self.message_breakdown:
             lines.append("messages by type:")
             lines.append(f"  {'type':<22s} {'count':>8s} {'bytes':>12s}")
@@ -122,7 +136,7 @@ def aggregate_sites(sites: List, tracer: Optional[Tracer] = None,  # noqa: ANN00
     message_breakdown: Dict[str, Dict[str, float]] = {}
     if tracer is not None:
         for event in tracer.select(kind="msg_send"):
-            mtype, _dst, nbytes = event.fields
+            mtype, nbytes = event.fields[0], event.fields[2]
             row = message_breakdown.setdefault(
                 str(mtype), {"count": 0, "bytes": 0})
             row["count"] += 1

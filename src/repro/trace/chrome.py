@@ -30,7 +30,7 @@ MESSAGE_LANE = 901
 EVENT_LANE = 902
 
 #: event kinds rendered as instants on the message lane
-_MSG_KINDS = frozenset({"msg_send", "msg_recv"})
+_MSG_KINDS = frozenset({"msg_send", "msg_recv", "msg_local"})
 
 
 def to_chrome(tracer: Tracer,
@@ -59,7 +59,7 @@ def to_chrome(tracer: Tracer,
     for event in events:
         sites_seen.setdefault(event.site, True)
         if event.kind == "exec_begin":
-            frame, thread = event.fields
+            frame, thread = event.fields[0], event.fields[1]
             used = lanes_in_use.setdefault(event.site, set())
             lane = 0
             while lane in used:

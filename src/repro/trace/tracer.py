@@ -29,9 +29,12 @@ from repro.common.errors import SDVMError
 
 #: event kind -> positional field names (the schema).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
-    # frame lifecycle (scheduling + processing managers)
+    # frame lifecycle (scheduling + processing managers).  ``cause`` is the
+    # packed causal node id of whatever made the frame executable (see
+    # :mod:`repro.trace.causal`); ``origin`` is the site where that causal
+    # chain was rooted.  -1 = chain root (e.g. the frontend submit).
     "frame_enqueued": ("frame", "program"),
-    "exec_begin": ("frame", "thread"),
+    "exec_begin": ("frame", "thread", "cause", "origin"),
     "exec_end": ("frame", "work"),
     # work stealing (scheduling manager)
     "help_request": ("target",),
@@ -41,6 +44,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # code distribution (code manager)
     "code_hit": ("program", "thread"),
     "code_fetch": ("program", "thread", "home"),
+    "code_fetch_done": ("program", "thread", "ok"),
     "code_compile": ("program", "thread", "seconds"),
     # checkpoint waves + recovery (crash manager)
     "wave_begin": ("wave", "sites"),
@@ -48,9 +52,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "wave_abort": ("wave", "reason"),
     "recovery_begin": ("epoch", "dead"),
     "recovery_done": ("epoch",),
-    # messaging (message manager)
-    "msg_send": ("msg_type", "dst", "nbytes"),
-    "msg_recv": ("msg_type", "src", "nbytes"),
+    # messaging (message manager).  ``seq`` + the sender site identify one
+    # physical message on both ends; ``cause``/``origin`` carry the causal
+    # stamp assigned at send time.  Loopback (same-site) deliveries emit
+    # "msg_local" instead of a send/recv pair so network counters stay pure.
+    "msg_send": ("msg_type", "dst", "nbytes", "seq", "cause", "origin"),
+    "msg_recv": ("msg_type", "src", "nbytes", "seq"),
+    "msg_local": ("msg_type", "seq", "cause", "origin"),
     # membership + power (cluster + site managers)
     "site_join": ("logical",),
     "site_leave": ("leaver", "heir"),

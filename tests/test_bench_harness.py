@@ -12,7 +12,18 @@ from repro.bench.calibration import (
     PAPER_TABLE1,
     calibrated_test_params,
 )
-from repro.bench.harness import bench_config, render_table, run_primes, speedup_row
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    bench_config,
+    bench_doc,
+    compare_metrics,
+    load_bench_json,
+    render_table,
+    render_violations,
+    run_primes,
+    speedup_row,
+    write_bench_json,
+)
 
 
 class TestCalibration:
@@ -73,3 +84,77 @@ class TestHarness:
         widths = {len(line) for line in lines[1:]}
         assert len(widths) == 1  # all rows equally wide
         assert "2.50" in table  # floats formatted
+
+
+class TestBenchJson:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = write_bench_json(str(tmp_path), "demo",
+                                {"b": 2.0, "a": 1.0},
+                                tolerances={"a": 0.1},
+                                meta={"note": "x"})
+        assert path.endswith("BENCH_demo.json")
+        doc = load_bench_json(path)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["suite"] == "demo"
+        assert list(doc["metrics"]) == ["a", "b"]  # sorted, deterministic
+        assert doc["tolerances"] == {"a": 0.1}
+        assert doc["meta"] == {"note": "x"}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        import json
+        from repro.common.errors import SDVMError
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "nope", "metrics": {}}))
+        with pytest.raises(SDVMError, match="schema"):
+            load_bench_json(str(path))
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(SDVMError, match="metrics"):
+            load_bench_json(str(path))
+
+
+class TestCompareMetrics:
+    def _baseline(self, metrics, tolerances=None):
+        return bench_doc("s", metrics, tolerances)
+
+    def test_within_default_tolerance_passes(self):
+        base = self._baseline({"t": 100.0})
+        assert compare_metrics({"t": 104.0}, base) == []
+
+    def test_outside_default_tolerance_fails(self):
+        base = self._baseline({"t": 100.0})
+        violations = compare_metrics({"t": 110.0}, base)
+        assert len(violations) == 1
+        assert violations[0]["metric"] == "t"
+        assert violations[0]["deviation"] == pytest.approx(0.10)
+
+    def test_per_metric_tolerance_overrides_default(self):
+        base = self._baseline({"rate": 0.5}, {"rate": 0.5})
+        assert compare_metrics({"rate": 0.7}, base) == []
+        assert compare_metrics({"rate": 0.1}, base)
+
+    def test_missing_metric_is_a_violation(self):
+        violations = compare_metrics({}, self._baseline({"t": 1.0}))
+        assert violations[0]["reason"] == "missing from current run"
+
+    def test_extra_current_metrics_ignored(self):
+        base = self._baseline({"t": 1.0})
+        assert compare_metrics({"t": 1.0, "new_counter": 99.0}, base) == []
+
+    def test_zero_baseline_uses_absolute_bound(self):
+        base = self._baseline({"recoveries": 0.0}, {"recoveries": 0.5})
+        assert compare_metrics({"recoveries": 0.4}, base) == []
+        assert compare_metrics({"recoveries": 1.0}, base)
+
+    def test_render_violations_mentions_metric(self):
+        base = self._baseline({"t": 1.0})
+        text = render_violations("s", compare_metrics({"t": 2.0}, base))
+        assert "bench gate FAILED" in text and "t" in text
+        text = render_violations("s", compare_metrics({}, base))
+        assert "missing" in text
+
+
+class TestGateSuitesRegistry:
+    def test_suites_registered(self):
+        from repro.bench import GATE_SUITES
+        assert set(GATE_SUITES) == {"primes_speedup", "overhead_1site"}
+        assert all(callable(fn) for fn in GATE_SUITES.values())

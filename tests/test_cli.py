@@ -107,6 +107,105 @@ class TestTraceAndStats:
         assert "unknown app" in text
 
 
+class TestBlameAndCriticalPath:
+    def test_blame_report_round_trip(self, tmp_path):
+        import json
+        dump = tmp_path / "blame.json"
+        code, text = run_cli("blame", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--json", str(dump))
+        assert code == 0
+        assert "time attribution" in text
+        assert "speedup: measured" in text
+        doc = json.loads(dump.read_text())
+        assert doc["nsites"] == 2
+        assert "steal-wait" in doc["totals"]
+
+    def test_blame_unknown_app(self):
+        code, text = run_cli("blame", "doom")
+        assert code == 2
+        assert "unknown app" in text
+
+    def test_critical_path_lists_segments(self):
+        code, text = run_cli("critical-path", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000")
+        assert code == 0
+        assert "critical path" in text
+        assert "segments:" in text
+        assert "compute" in text
+
+    def test_critical_path_summary_only(self):
+        code, text = run_cli("critical-path", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--summary")
+        assert code == 0
+        assert "segments:" not in text
+
+    def test_critical_path_unknown_app(self):
+        code, _text = run_cli("critical-path", "doom")
+        assert code == 2
+
+
+class TestBenchGate:
+    def _write_baseline(self, directory, metrics, tolerances=None):
+        from repro.bench import write_bench_json
+        return write_bench_json(str(directory), "fake", metrics,
+                                tolerances=tolerances)
+
+    def _patch_fake_suite(self, monkeypatch, metrics):
+        import repro.bench
+        import repro.bench.suites as suites
+        fake = {"fake": lambda: (dict(metrics), {"loose": 0.5})}
+        monkeypatch.setattr(suites, "GATE_SUITES", fake)
+        monkeypatch.setattr(repro.bench, "GATE_SUITES", fake)
+
+    def test_check_passes_on_matching_baseline(self, tmp_path,
+                                               monkeypatch):
+        metrics = {"t": 1.0, "loose": 2.0}
+        self._patch_fake_suite(monkeypatch, metrics)
+        self._write_baseline(tmp_path / "base", metrics, {"loose": 0.5})
+        code, text = run_cli("bench", "--check",
+                             "--out", str(tmp_path / "results"),
+                             "--baselines", str(tmp_path / "base"))
+        assert code == 0
+        assert "bench gate PASSED" in text
+        assert (tmp_path / "results" / "BENCH_fake.json").exists()
+
+    def test_check_fails_on_regression(self, tmp_path, monkeypatch):
+        self._patch_fake_suite(monkeypatch, {"t": 2.0, "loose": 2.0})
+        self._write_baseline(tmp_path / "base", {"t": 1.0, "loose": 2.0})
+        code, text = run_cli("bench", "--check",
+                             "--out", str(tmp_path / "results"),
+                             "--baselines", str(tmp_path / "base"))
+        assert code == 1
+        assert "bench gate FAILED" in text
+        assert "t " in text or "t\t" in text or " t " in f" {text} "
+
+    def test_check_fails_without_baseline(self, tmp_path, monkeypatch):
+        self._patch_fake_suite(monkeypatch, {"t": 1.0})
+        code, text = run_cli("bench", "--check",
+                             "--out", str(tmp_path / "results"),
+                             "--baselines", str(tmp_path / "missing"))
+        assert code == 1
+        assert "no baseline" in text
+
+    def test_update_baselines_writes_to_baseline_dir(self, tmp_path,
+                                                     monkeypatch):
+        self._patch_fake_suite(monkeypatch, {"t": 1.0})
+        code, _text = run_cli("bench", "--update-baselines",
+                              "--out", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "base"))
+        assert code == 0
+        assert (tmp_path / "base" / "BENCH_fake.json").exists()
+        assert not (tmp_path / "results").exists()
+
+    def test_unknown_suite_rejected(self, tmp_path):
+        code, text = run_cli("bench", "--suites", "nonesuch",
+                             "--out", str(tmp_path))
+        assert code == 2
+        assert "unknown suite" in text
+
+
 class TestTable1:
     def test_unknown_row_rejected(self):
         code, text = run_cli("table1", "--p", "123")

@@ -255,12 +255,14 @@ class TestHelpProtocol:
         received = stats.get("steals_in").count
         assert out >= received
         # conservation: every enqueue is an execution, a re-enqueue at the
-        # thief after a steal, a drop at program termination, or still
-        # queued at shutdown — frames are never duplicated or lost
+        # thief after a steal, a drop at program termination, still queued
+        # at shutdown, or riding a HELP_REPLY still in flight when the sim
+        # stopped (out - received) — frames are never duplicated or lost
         accounted = (stats.get("executions").count
                      + received
                      + stats.get("frames_dropped_terminated").count
                      + stats.get("stale_work_dropped").count
+                     + (out - received)
                      + sum(s.scheduling_manager.queue_depth()
                            for s in cluster.sites)
                      + sum(s.processing_manager.in_flight
