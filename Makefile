@@ -1,10 +1,11 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench bench-gate smoke-trace
+.PHONY: verify test bench bench-gate smoke-trace profile-smoke
 
-# default CI entry point: unit tests + trace smoke + benchmark gate
-verify: test smoke-trace bench-gate
+# default CI entry point: unit tests + trace smoke + benchmark gate +
+# profiler smoke
+verify: test smoke-trace bench-gate profile-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -21,3 +22,7 @@ bench-gate:
 # and validate the Chrome trace + stats artifacts it dumps
 smoke-trace:
 	$(PY) benchmarks/smoke_trace.py
+
+# CI smoke for the profiling layer: a small primes run under cProfile
+profile-smoke:
+	$(PY) -m repro.cli profile primes --sites 2 --args 20 6 --top 12

@@ -13,6 +13,7 @@ bends (steal traffic, collector serialization) but never inverts.
 from __future__ import annotations
 
 from repro.bench import calibrated_test_params, render_table, run_primes
+from repro.bench.harness import wall_clock_meta
 
 from bench_util import write_result
 
@@ -22,13 +23,16 @@ SITES = (1, 2, 4, 8, 16, 32)
 
 def test_scaling(benchmark):
     durations = {}
+    clusters = []
 
     def sweep():
         scale, base = calibrated_test_params(P, 10)
         for nsites in SITES:
             width = max(10, 2 * nsites)  # give big clusters enough lanes
-            durations[nsites] = run_primes(P, width, nsites, scale, base,
-                                           progress_timeout=600.0)[0]
+            duration, cluster = run_primes(P, width, nsites, scale, base,
+                                           progress_timeout=600.0)
+            durations[nsites] = duration
+            clusters.append(cluster)
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
@@ -42,6 +46,9 @@ def test_scaling(benchmark):
         rows))
     for n in SITES:
         benchmark.extra_info[f"speedup_{n}"] = round(t1 / durations[n], 2)
+    # informational wall-clock throughput across the whole sweep
+    benchmark.extra_info["events_per_sec"] = round(
+        wall_clock_meta(clusters)["events_per_sec"])
 
     # monotone improvement all the way up
     ordered = [durations[n] for n in SITES]

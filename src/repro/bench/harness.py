@@ -65,6 +65,29 @@ def speedup_row(t1: float, tn: Dict[int, float]) -> Dict[int, float]:
     return {n: t1 / t for n, t in tn.items()}
 
 
+def wall_clock_meta(clusters: Sequence[SimCluster]) -> Dict[str, float]:
+    """Aggregate wall-clock throughput over finished cluster runs.
+
+    These figures are machine- and load-dependent, so they go into the
+    ``meta`` block of bench documents (which :func:`compare_metrics` never
+    reads) — informational visibility without a flaky gate.
+    """
+    wall = sum(c.wall_seconds for c in clusters)
+    events = sum(c.sim.events_executed for c in clusters)
+    msgs = 0
+    for cluster in clusters:
+        stats = cluster.total_stats()
+        msgs += (stats.get("sent").count
+                 + stats.get("local_messages").count)
+    return {
+        "wall_seconds": wall,
+        "events_executed": float(events),
+        "messages": float(msgs),
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "msgs_per_sec": msgs / wall if wall > 0 else 0.0,
+    }
+
+
 # ---------------------------------------------------------------------------
 # machine-readable bench artifacts + the regression comparator
 

@@ -9,15 +9,23 @@ baselines under ``benchmarks/baselines/``.
 Tolerances are headroom for *intentional* small changes (e.g. a wire
 format tweak shifts every virtual timestamp slightly); an unchanged
 codebase reproduces the baselines exactly.
+
+Wall-clock throughput figures (events/sec, msgs/sec) ride along in each
+suite's ``meta`` block.  The comparator never looks at ``meta``, so these
+machine-dependent numbers are purely informational and cannot fail the
+gate.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
-from repro.bench.harness import bench_config, cluster_bench_metrics, run_primes
+from repro.bench.harness import (bench_config, cluster_bench_metrics,
+                                 run_primes, wall_clock_meta)
 
-MetricsAndTols = Tuple[Dict[str, float], Dict[str, float]]
+#: (metrics, tolerances, meta) — ``metrics`` are gated against baselines,
+#: ``meta`` is informational only
+SuiteResult = Tuple[Dict[str, float], Dict[str, float], Dict[str, object]]
 
 #: loose bounds for inherently schedule-sensitive metrics; timings and
 #: counts fall back to the comparator's default (5%)
@@ -30,15 +38,17 @@ def _gate_config():
     return bench_config(trace=True)
 
 
-def primes_speedup_suite() -> MetricsAndTols:
+def primes_speedup_suite() -> SuiteResult:
     """primes(25, w=6) on 1/4/8 sites: timings, speedups, blame split."""
     p, width, scale, base = 25, 6, 400.0, 4000.0
     timings: Dict[int, float] = {}
+    clusters = []
     cluster8 = None
     for nsites in (1, 4, 8):
         duration, cluster = run_primes(p, width, nsites, scale, base,
                                        config=_gate_config())
         timings[nsites] = duration
+        clusters.append(cluster)
         if nsites == 8:
             cluster8 = cluster
     metrics: Dict[str, float] = {
@@ -58,10 +68,10 @@ def primes_speedup_suite() -> MetricsAndTols:
     for name in metrics:
         if name.startswith("s8_blame_"):
             tolerances[name] = _BLAME_TOL
-    return metrics, tolerances
+    return metrics, tolerances, wall_clock_meta(clusters)
 
 
-def overhead_1site_suite() -> MetricsAndTols:
+def overhead_1site_suite() -> SuiteResult:
     """Single-site primes run: protocol overhead must stay small."""
     duration, cluster = run_primes(20, 6, 1, 400.0, 4000.0,
                                    config=_gate_config())
@@ -71,12 +81,12 @@ def overhead_1site_suite() -> MetricsAndTols:
     for name in metrics:
         if name.startswith("s1_blame_"):
             tolerances[name] = _BLAME_TOL
-    return metrics, tolerances
+    return metrics, tolerances, wall_clock_meta([cluster])
 
 
-#: suite name -> callable producing (metrics, tolerances); the fast
-#: subset run by ``make bench-gate``
-GATE_SUITES: Dict[str, Callable[[], MetricsAndTols]] = {
+#: suite name -> callable producing (metrics, tolerances[, meta]); the
+#: fast subset run by ``make bench-gate``
+GATE_SUITES: Dict[str, Callable[[], SuiteResult]] = {
     "primes_speedup": primes_speedup_suite,
     "overhead_1site": overhead_1site_suite,
 }

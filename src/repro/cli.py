@@ -11,6 +11,7 @@ Usage (installed as a module)::
     python -m repro.cli blame primes --sites 8    # where did the time go?
     python -m repro.cli critical-path primes --sites 8
     python -m repro.cli bench --check             # regression gate
+    python -m repro.cli profile primes --sites 2  # cProfile hot spots
     python -m repro.cli table1 --p 100            # one Table-1 row
 
 ``run`` builds a simulated cluster, executes the program, prints its
@@ -228,9 +229,17 @@ def cmd_bench(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     target_dir = args.baselines if args.update_baselines else args.out
     failed = False
     for name in names:
-        metrics, tolerances = GATE_SUITES[name]()
+        result = GATE_SUITES[name]()
+        # suites return (metrics, tolerances) or (metrics, tolerances,
+        # meta); meta carries informational wall-clock figures the
+        # comparator never reads
+        if len(result) == 3:
+            metrics, tolerances, meta = result
+        else:
+            metrics, tolerances = result
+            meta = {}
         path = write_bench_json(target_dir, name, metrics,
-                                tolerances=tolerances)
+                                tolerances=tolerances, meta=meta)
         print(f"{name}: {len(metrics)} metrics -> {path}", file=out)
         if not args.check:
             continue
@@ -251,6 +260,47 @@ def cmd_bench(args: argparse.Namespace, out) -> int:  # noqa: ANN001
         return 1
     if args.check:
         print("bench gate PASSED", file=out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Run an app under cProfile and print the hottest functions.
+
+    The wall-clock throughput line uses the cluster's own accounting
+    (:meth:`SimCluster.wall_clock_metrics`); note that the profiler's
+    tracing overhead deflates it vs. an unprofiled run.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        cluster, handle = _run_app(args, out)
+    finally:
+        profiler.disable()
+    if cluster is None:
+        return 2
+
+    wall = cluster.wall_clock_metrics()
+    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
+          f"site(s)", file=out)
+    print(f"wall: {wall['wall_seconds']:.3f}s, "
+          f"{wall['events_executed']:.0f} events "
+          f"({wall['events_per_sec']:.0f} events/sec), "
+          f"{wall['messages']:.0f} messages "
+          f"({wall['msgs_per_sec']:.0f} msgs/sec) [under profiler]",
+          file=out)
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(buffer.getvalue(), file=out)
+    if args.out_stats:
+        stats.dump_stats(args.out_stats)
+        print(f"wrote raw profile to {args.out_stats} "
+              f"(inspect with python -m pstats)", file=out)
     return 0
 
 
@@ -359,6 +409,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--baselines", default="benchmarks/baselines",
                               help="committed baseline dir")
 
+    profile_parser = sub.add_parser(
+        "profile", help="run an app under cProfile; print hot functions "
+                        "and wall-clock throughput")
+    profile_parser.add_argument("app")
+    profile_parser.add_argument("--sites", type=int, default=4)
+    profile_parser.add_argument("--args", nargs="*", default=[],
+                                help="program arguments (see `apps`)")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                help="pstats sort key (cumulative, tottime, "
+                                     "calls, ...)")
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="how many functions to print")
+    profile_parser.add_argument("--out-stats", metavar="PATH", default="",
+                                help="also dump the raw pstats file")
+    profile_parser.add_argument("--seed", type=int, default=0)
+
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
     table_parser.add_argument("--p", type=int, default=100)
@@ -377,6 +443,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
         "blame": cmd_blame,
         "critical-path": cmd_critical_path,
         "bench": cmd_bench,
+        "profile": cmd_profile,
         "table1": cmd_table1,
     }
     return handlers[args.command](args, out)

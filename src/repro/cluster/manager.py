@@ -116,8 +116,11 @@ class ClusterManager(Manager):
 
     def effective_site(self, logical: int) -> int:
         """Follow heir links of departed sites (§3.4 relocation)."""
-        seen: Set[int] = set()
-        current = logical
+        record = self.sites.get(logical)
+        if record is None or record.alive or record.heir is None:
+            return logical  # common case: no relocation — no cycle set needed
+        seen: Set[int] = {logical}
+        current = record.heir
         while current not in seen:
             seen.add(current)
             record = self.sites.get(current)

@@ -195,6 +195,13 @@ class SecurityConfig:
     cluster_password: str = "sdvm"
     #: Diffie-Hellman modulus size (bits) for the didactic key exchange
     dh_bits: int = 256
+    #: sim-kernel-only fast path: charge the exact same simulated byte and
+    #: CPU costs for sealing/opening envelopes, but skip the real keystream
+    #: cipher + MAC work (and the DH shared-secret modpow).  Envelopes keep
+    #: their sealed layout and size, so virtual-time results are identical
+    #: to a real-crypto run at a fraction of the host CPU cost.  The live
+    #: kernel ignores this flag and always runs real crypto.
+    simulate_crypto: bool = False
 
 
 @dataclass(frozen=True, slots=True)

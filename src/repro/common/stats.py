@@ -196,9 +196,16 @@ class StatSet:
         self.add(name, 1.0)
 
     def add(self, name: str, value: float) -> None:
+        # Counters sit on the per-message hot path; the unlocked (sim)
+        # branch inlines __getitem__ + Counter.add to avoid three calls per
+        # counted event.
         lock = self._lock
         if lock is None:
-            self[name].add(value)
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.count += 1
+            counter.total += value
             return
         with lock:
             self[name].add(value)

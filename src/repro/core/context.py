@@ -61,8 +61,19 @@ class ExecutionContext:
         self._now = now
         self._charged = 0.0
         self._exited = False
-        #: per-execution deterministic RNG (seeded from frame id + seed)
-        self.rng = random.Random((frame.frame_id.pack() << 8) ^ seed)
+        #: per-execution deterministic RNG seed (frame id + site seed);
+        #: the Random itself is built lazily — seeding a Mersenne Twister
+        #: costs microseconds and most microthreads never draw from it
+        self._rng_seed = (frame.frame_id.pack() << 8) ^ seed
+        self._rng: Optional[random.Random] = None
+
+    @property
+    def rng(self) -> random.Random:
+        """Per-execution deterministic RNG (same seed → same draws)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self._rng_seed)
+        return rng
 
     # ------------------------------------------------------------------
     # introspection

@@ -92,6 +92,12 @@ class MsgType(enum.IntEnum):
 #: as signed 64-bit
 _STAMP = struct.Struct(">Qq")
 
+# value -> member maps for decode: a plain dict lookup per field instead of
+# the enum class's __call__ machinery (three conversions per received
+# message adds up on the sim's hot path)
+_MSG_BY_VALUE = MsgType._value2member_map_
+_MGR_BY_VALUE = ManagerId._value2member_map_
+
 
 @dataclass(slots=True)
 class SDMessage:
@@ -122,28 +128,43 @@ class SDMessage:
     #: send (see :mod:`repro.trace.causal`).  -1 = unstamped / chain root.
     origin_site: int = -1
     cause_id: int = -1
+    #: cached wire encoding (encode-once: messages are immutable once the
+    #: message manager hands them to the transport, so ``wire_size()`` and
+    #: ``send`` share one serialization).  Never set by ``decode`` — a
+    #: received message may legitimately be re-addressed (heir forwarding)
+    #: before it is encoded again.
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False,
+                                   compare=False)
 
     def encode(self) -> bytes:
         """Serialize to wire bytes (header tuple + payload dict).
+
+        Encode-once: the first call caches the envelope and every later
+        call returns the same ``bytes`` object.  Mutating the message after
+        the first ``encode()`` does not change its wire form — senders must
+        fully assemble a message before handing it to the message manager.
 
         The causal stamp travels as a fixed-width 16-byte blob (not
         varints): its value changes between traced and untraced runs, and
         a value-dependent size would feed back into the simulated byte
         costs — enabling tracing must not perturb timing.
         """
-        return dumps((
-            int(self.type),
-            self.src_site,
-            int(self.src_manager),
-            self.dst_site,
-            int(self.dst_manager),
-            self.program,
-            self.seq,
-            self.reply_to,
-            self.src_load,
-            _STAMP.pack(self.cause_id + 1, self.origin_site),
-            self.payload,
-        ))
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = dumps((
+                int(self.type),
+                self.src_site,
+                int(self.src_manager),
+                self.dst_site,
+                int(self.dst_manager),
+                self.program,
+                self.seq,
+                self.reply_to,
+                self.src_load,
+                _STAMP.pack(self.cause_id + 1, self.origin_site),
+                self.payload,
+            ))
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "SDMessage":
@@ -157,30 +178,50 @@ class SDMessage:
         cause_plus_one, origin_site = _STAMP.unpack(stamp)
         cause_id = cause_plus_one - 1
         try:
-            msg_type = MsgType(mtype)
-            src_manager = ManagerId(src_mgr)
-            dst_manager = ManagerId(dst_mgr)
-        except ValueError as exc:
-            raise SerializationError(f"unknown enum value on wire: {exc}") from exc
+            msg_type = _MSG_BY_VALUE[mtype]
+            src_manager = _MGR_BY_VALUE[src_mgr]
+            dst_manager = _MGR_BY_VALUE[dst_mgr]
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                f"unknown enum value on wire: {exc}") from exc
         if not isinstance(payload, dict):
             raise SerializationError("SDMessage payload must be a dict")
-        return cls(
-            type=msg_type,
-            src_site=src_site,
-            src_manager=src_manager,
-            dst_site=dst_site,
-            dst_manager=dst_manager,
-            payload=payload,
-            program=program,
-            seq=seq,
-            reply_to=reply_to,
-            src_load=src_load,
-            origin_site=origin_site,
-            cause_id=cause_id,
-        )
+        # direct slot assignment instead of the dataclass __init__ — decode
+        # runs once per received message and the kwargs machinery is
+        # measurable there.  Every slot must be set, including the wire
+        # cache (deliberately left cold, see the field comment).
+        msg = cls.__new__(cls)
+        msg.type = msg_type
+        msg.src_site = src_site
+        msg.src_manager = src_manager
+        msg.dst_site = dst_site
+        msg.dst_manager = dst_manager
+        msg.payload = payload
+        msg.program = program
+        msg.seq = seq
+        msg.reply_to = reply_to
+        msg.src_load = src_load
+        msg.origin_site = origin_site
+        msg.cause_id = cause_id
+        msg._wire = None
+        return msg
+
+    def invalidate_wire(self) -> None:
+        """Drop the cached encoding after a legitimate mutation.
+
+        The message manager calls this before stamping seq/src/load fields
+        on send, so a sender that probed :meth:`wire_size` beforehand cannot
+        pin a stale envelope.
+        """
+        self._wire = None
 
     def wire_size(self) -> int:
-        """Encoded size in bytes — drives the simulated bandwidth model."""
+        """Encoded size in bytes — drives the simulated bandwidth model.
+
+        Shares the encode-once cache with :meth:`encode`, so asking for a
+        message's size before (or after) sending it costs one serialization
+        total, and ``wire_size() == len(encode())`` always holds.
+        """
         return len(self.encode())
 
     def __repr__(self) -> str:

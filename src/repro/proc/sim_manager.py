@@ -36,6 +36,9 @@ class SimProcessingManager(Manager):
 
     def __init__(self, site) -> None:  # noqa: ANN001
         super().__init__(site)
+        #: journal flag cached so the per-execution path skips building the
+        #: event kwargs entirely when journalling is off (the common case)
+        self._journal_on = site.config.journal
         self.in_flight = 0
         #: executions currently in their memory-wait phase
         self.waiting = 0
@@ -92,8 +95,9 @@ class SimProcessingManager(Manager):
             return
         self.site.site_manager.note_activity()
         self.in_flight += 1
-        self.site.journal_event("exec_start", thread=compiled.name,
-                                frame=frame.frame_id.pack())
+        if self._journal_on:
+            self.site.journal_event("exec_start", thread=compiled.name,
+                                    frame=frame.frame_id.pack())
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "exec_begin",
@@ -191,8 +195,9 @@ class SimProcessingManager(Manager):
         self.stats.add("work_units", ctx.charged_work)
         self.stats.add("wait_seconds", ctx.wait_time)
         self.work_done += ctx.charged_work
-        self.site.journal_event("exec_end", frame=frame.frame_id.pack(),
-                                work=ctx.charged_work)
+        if self._journal_on:
+            self.site.journal_event("exec_end", frame=frame.frame_id.pack(),
+                                    work=ctx.charged_work)
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "exec_end",

@@ -37,10 +37,18 @@ class ProgramInfo:
     #: local accounting (goal 14): executions run / work charged here
     executions: int = 0
     work_charged: float = 0.0
+    #: memoized thread_table() result — ``threads`` is immutable after
+    #: registration, and the table is needed once per execution
+    _thread_table: Optional[Dict[str, Tuple[int, int]]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def thread_table(self) -> Dict[str, Tuple[int, int]]:
-        return {name: (tid, nparams)
+        table = self._thread_table
+        if table is None:
+            table = self._thread_table = {
+                name: (tid, nparams)
                 for name, (tid, nparams, _w, _c) in self.threads.items()}
+        return table
 
     def to_wire(self) -> dict:
         return {

@@ -21,10 +21,24 @@ import struct
 from typing import Dict, Tuple
 
 from repro.common.errors import SecurityError
-from repro.security.cipher import NONCE_SIZE, derive_key, open_sealed, seal
+from repro.security.cipher import (
+    NONCE_SIZE,
+    TAG_SIZE,
+    derive_key,
+    open_sealed,
+    seal,
+)
 
 _PLAIN = 0
 _SEALED = 1
+
+#: fixed placeholder tag used by the sim-only ``simulate`` mode: it keeps
+#: the sealed envelope layout (nonce || tag || body) and size while making
+#: simulated envelopes self-identifying — a *real* sealed envelope reaching
+#: a simulating layer (or vice versa) fails closed instead of decoding
+#: garbage
+_SIM_TAG = b"<sdvm:simulated-crypto-envelope>"
+assert len(_SIM_TAG) == TAG_SIZE
 
 
 class SecurityLayer:
@@ -36,15 +50,26 @@ class SecurityLayer:
     """
 
     def __init__(self, local_addr: str, enabled: bool,
-                 cluster_password: str) -> None:
+                 cluster_password: str, simulate: bool = False) -> None:
         self.local_addr = local_addr
         self.enabled = enabled
+        #: sim-kernel-only: keep envelope sizes/accounting but skip the
+        #: real cipher+MAC work (see SecurityConfig.simulate_crypto)
+        self.simulate = simulate
         self._password = cluster_password
         self._session_keys: Dict[str, bytes] = {}
         #: previous key per peer: messages sealed before a rotation may
         #: still be in flight when the new key installs (rollover grace)
         self._previous_keys: Dict[str, bytes] = {}
         self._nonce_counters: Dict[str, int] = {}
+        #: envelope header is identical for every message this site sends;
+        #: build it once (protect() sits on the per-message hot path)
+        addr = local_addr.encode("utf-8")
+        self._header = struct.pack(">BH", _SEALED if enabled else _PLAIN,
+                                   len(addr)) + addr
+        #: nonce pad depends only on the local address; cache it instead of
+        #: re-deriving a key per message
+        self._nonce_pad = derive_key(b"nonce", addr)[:NONCE_SIZE - 8]
         #: bytes encrypted/decrypted — feeds the sim cost model
         self.bytes_processed = 0
         self.messages_sealed = 0
@@ -71,22 +96,22 @@ class SecurityLayer:
     def _next_nonce(self, peer_addr: str) -> bytes:
         counter = self._nonce_counters.get(peer_addr, 0)
         self._nonce_counters[peer_addr] = counter + 1
-        local = self.local_addr.encode("utf-8")
-        pad = derive_key(b"nonce", local)[:NONCE_SIZE - 8]
-        return pad + struct.pack(">Q", counter)
+        return self._nonce_pad + struct.pack(">Q", counter)
 
     # ------------------------------------------------------------------
     def protect(self, peer_addr: str, data: bytes) -> bytes:
         """Wrap outgoing ``data`` for transmission to ``peer_addr``."""
-        addr = self.local_addr.encode("utf-8")
-        header = struct.pack(">BH", _SEALED if self.enabled else _PLAIN,
-                             len(addr)) + addr
+        header = self._header
         if not self.enabled:
             return header + data
         self.messages_sealed += 1
         self.bytes_processed += len(data)
+        nonce = self._next_nonce(peer_addr)
+        if self.simulate:
+            # size-identical stand-in for seal(): nonce || tag || body
+            return header + nonce + _SIM_TAG + data
         key = self._pair_key(peer_addr)
-        return header + seal(key, data, self._next_nonce(peer_addr))
+        return header + seal(key, data, nonce)
 
     def unprotect(self, envelope: bytes) -> Tuple[str, bytes]:
         """Unwrap an incoming envelope; returns (sender_addr, payload)."""
@@ -109,6 +134,14 @@ class SecurityLayer:
                 f"sealed message from {sender} but security layer disabled")
         self.messages_opened += 1
         self.bytes_processed += len(body)
+        if self.simulate:
+            if len(body) < NONCE_SIZE + TAG_SIZE:
+                raise SecurityError("sealed envelope too short")
+            if bytes(body[NONCE_SIZE:NONCE_SIZE + TAG_SIZE]) != _SIM_TAG:
+                raise SecurityError(
+                    f"really-sealed envelope from {sender} reached a "
+                    f"simulate_crypto layer")
+            return sender, bytes(body[NONCE_SIZE + TAG_SIZE:])
         try:
             return sender, open_sealed(self._pair_key(sender), body)
         except SecurityError:

@@ -5,16 +5,24 @@ Determinism rules:
 * events fire in (time, insertion-sequence) order, so simultaneous events
   run in the order they were scheduled;
 * cancelled events stay in the heap but are skipped (lazy deletion), which
-  keeps :meth:`Simulator.cancel` O(1);
+  keeps :meth:`Simulator.cancel` O(1); when more than half the queue is
+  cancelled the heap is compacted in one O(n) sweep so long runs with many
+  cancelled timers (request timeouts, help retries) don't accumulate dead
+  entries until pop time;
 * all randomness flows through :attr:`Simulator.rng`, seeded at construction.
+
+Performance notes: the heap stores plain ``(time, seq, event)`` tuples so
+``heapq`` compares tuples in C instead of calling a Python ``__lt__``; the
+:class:`Event` handle itself is a ``__slots__`` class carrying only the
+callback, its args, and the cancelled flag.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SDVMError
 
@@ -23,19 +31,34 @@ class SimulationError(SDVMError):
     """Raised for kernel misuse (negative delays, running a stopped sim)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordered by (time, seq)."""
+    """A scheduled callback, ordered by (time, seq) in the simulator heap."""
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: tuple = (), sim: "Optional[Simulator]" = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        #: owning simulator while queued (cleared on pop) — lets cancel()
+        #: keep the owner's cancelled-entry count exact without a scan
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (lazy removal from the heap)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
+
+
+#: compaction triggers only beyond this queue size — tiny queues rebuild
+#: for no benefit
+_COMPACT_MIN = 64
 
 
 class Simulator:
@@ -53,11 +76,13 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
+        #: cancelled events still sitting in the heap (exact count)
+        self._cancelled = 0
         self.rng = random.Random(seed)
         #: number of events executed (exposed for tests/benchmarks)
         self.events_executed = 0
@@ -75,7 +100,12 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., None],
                     *args: Any) -> Event:
@@ -83,13 +113,24 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} < now {self._now}")
-        event = Event(time=time, seq=self._seq, fn=fn, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heappush(self._queue, (time, seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
         event.cancel()
+
+    # -- lazy-deletion bookkeeping --------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        queue = self._queue
+        if len(queue) > _COMPACT_MIN and self._cancelled * 2 > len(queue):
+            # in-place rebuild so aliases of the queue list stay valid
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -104,19 +145,26 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        queue = self._queue
+        # hoist the optional bounds out of the loop: an unset horizon/limit
+        # becomes +inf, so the per-event path is two comparisons, no
+        # None-checks
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
         try:
-            while self._queue:
-                if self._stopped:
+            while queue:
+                if self._stopped or executed_this_run >= limit:
                     break
-                if max_events is not None and executed_this_run >= max_events:
+                entry = queue[0]
+                if entry[0] > horizon:
                     break
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
+                heappop(queue)
+                event = entry[2]
+                event._sim = None
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._now = event.time
+                self._now = entry[0]
                 self.events_executed += 1
                 executed_this_run += 1
                 if self.trace_hook is not None:
@@ -129,9 +177,12 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute exactly one event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            _time, _seq, event = heappop(queue)
+            event._sim = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self.events_executed += 1
@@ -148,10 +199,13 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            _t, _s, event = heappop(queue)
+            event._sim = None
+            self._cancelled -= 1
+        return queue[0][0] if queue else None

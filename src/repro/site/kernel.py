@@ -90,7 +90,8 @@ class CpuModel:
     """
 
     __slots__ = ("_sim", "speed", "_jobs", "_seq", "_last_update",
-                 "_completion_event", "busy_total", "overhead_total")
+                 "_completion_event", "_target_time", "busy_total",
+                 "overhead_total")
 
     def __init__(self, sim: "Any", speed: float) -> None:
         if speed <= 0:
@@ -102,6 +103,13 @@ class CpuModel:
         self._seq = 0
         self._last_update = 0.0
         self._completion_event = None
+        #: absolute virtual time of the next job completion, or None when
+        #: idle.  The armed heap event may fire *before* this (it is left in
+        #: place when an admission pushes the completion later); a stale
+        #: fire re-arms at the current target without touching job state,
+        #: so the shared-progress arithmetic below is unaffected by when
+        #: (or how often) stale wake-ups happen.
+        self._target_time = None
         #: total CPU-seconds consumed
         self.busy_total = 0.0
         #: CPU-seconds spent on protocol overhead (vs. microthread compute)
@@ -124,18 +132,55 @@ class CpuModel:
                 self.overhead_total += share
 
     def _reschedule(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
-        if not self._jobs:
+        """Re-aim the completion event at the earliest job completion.
+
+        Churn-avoiding: work admissions almost always push the completion
+        *later* (more jobs share the CPU), so instead of cancelling and
+        re-pushing a heap entry on every admission, the already-armed event
+        is left alone whenever it fires at or before the new target —
+        :meth:`_complete` detects the early fire and re-arms.  Only a
+        target that moved *earlier* (a new job shorter than every current
+        remaining share) needs a cancel.
+        """
+        jobs = self._jobs
+        event = self._completion_event
+        if not jobs:
+            self._target_time = None
+            if event is not None:
+                event.cancel()
+                self._completion_event = None
             return
-        n = len(self._jobs)
-        shortest = min(job[0] for job in self._jobs)
-        delay = max(shortest, 0.0) * n
-        self._completion_event = self._sim.schedule(delay, self._complete)
+        shortest = jobs[0][0]
+        for job in jobs:
+            remaining = job[0]
+            if remaining < shortest:
+                shortest = remaining
+        if shortest < 0.0:
+            shortest = 0.0
+        target = self._sim.now + shortest * len(jobs)
+        self._target_time = target
+        if event is None:
+            self._completion_event = self._sim.schedule_at(
+                target, self._complete)
+        elif event.time > target:
+            event.cancel()
+            self._completion_event = self._sim.schedule_at(
+                target, self._complete)
 
     def _complete(self) -> None:
         self._completion_event = None
+        target = self._target_time
+        if target is None:
+            return
+        now = self._sim.now
+        if now < target:
+            # stale wake-up: the completion moved later while this event
+            # sat in the heap.  Re-arm at the real target — deliberately
+            # WITHOUT advancing job state, so the float trajectory of the
+            # progress accounting is identical to an eager-cancel scheme.
+            self._completion_event = self._sim.schedule_at(
+                target, self._complete)
+            return
         self._advance()
         finished = [job for job in self._jobs if job[0] <= 1e-12]
         if finished:

@@ -32,15 +32,15 @@ class Manager:
         #: follow the pattern ``tr = self.tracer`` / ``if tr is not None:``
         #: so the disabled hot path never builds an event.
         self.tracer = site.tracer
+        #: cost model, bound once — a site's config is fixed at construction,
+        #: and ``self.cost.x`` sits on per-message hot paths where a property
+        #: indirection is measurable
+        self.cost = site.config.cost
 
     # convenient shortcuts -------------------------------------------------
     @property
     def config(self):  # noqa: ANN201 — SDVMConfig
         return self.site.config
-
-    @property
-    def cost(self):  # noqa: ANN201 — CostModel
-        return self.site.config.cost
 
     @property
     def local_id(self) -> int:

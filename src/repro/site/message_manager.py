@@ -45,6 +45,7 @@ class MessageManager(Manager):
     # sending
 
     def _assign_seq(self, msg: SDMessage) -> None:
+        msg.invalidate_wire()  # fields below change the wire form
         msg.src_site = self.local_id
         if msg.seq < 0:
             msg.seq = self._next_seq
@@ -205,6 +206,7 @@ class MessageManager(Manager):
             self.stats.inc("forward_failed")
             return
         msg.dst_site = target
+        msg.invalidate_wire()  # re-addressed: must re-encode, not replay
         envelope = self.site.security_manager.protect(physical, msg.encode())
         self.stats.inc("forwarded_to_heir")
         self.kernel.transport_send(physical, envelope)

@@ -8,6 +8,7 @@ its result to its frontend).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -85,6 +86,10 @@ class SimCluster:
         self._sites: List[SDVMSite] = []
         self._next_physical = 0
         self.handles: List[ProgramHandle] = []
+        #: wall-clock seconds spent inside ``sim.run`` across all
+        #: :meth:`run` calls — purely informational (never fed back into
+        #: virtual time), the basis for :meth:`wall_clock_metrics`
+        self.wall_seconds = 0.0
 
         configs: List[SiteConfig]
         if site_configs is not None:
@@ -222,7 +227,11 @@ class SimCluster:
             target = self.sim.now + progress_timeout
             if until is not None:
                 target = min(target, until)
-            self.sim.run(until=target)
+            wall_start = time.perf_counter()
+            try:
+                self.sim.run(until=target)
+            finally:
+                self.wall_seconds += time.perf_counter() - wall_start
             if all(h.done for h in self.handles):
                 break
             if until is not None and self.sim.now >= until:
@@ -263,6 +272,27 @@ class SimCluster:
             for manager in site.managers.values():
                 merged.merge(manager.stats)
         return merged
+
+    def wall_clock_metrics(self) -> Dict[str, float]:
+        """Real-time throughput of the finished run (informational only).
+
+        Wall-clock figures are machine- and load-dependent, so they never
+        participate in gated benchmark metrics — they ride along in the
+        ``meta`` block of ``BENCH_*.json`` artifacts and in ``repro
+        profile`` output to make performance regressions visible.
+        """
+        wall = self.wall_seconds
+        events = self.sim.events_executed
+        stats = self.total_stats()
+        msgs = (stats.get("sent").count
+                + stats.get("local_messages").count)
+        return {
+            "wall_seconds": wall,
+            "events_executed": float(events),
+            "messages": float(msgs),
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "msgs_per_sec": msgs / wall if wall > 0 else 0.0,
+        }
 
     def cluster_report(self):  # noqa: ANN201 — repro.trace.ClusterReport
         """Cluster-wide merged stats + derived metrics (``repro stats``)."""

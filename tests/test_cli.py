@@ -205,6 +205,56 @@ class TestBenchGate:
         assert code == 2
         assert "unknown suite" in text
 
+    def test_suite_meta_lands_in_artifact(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.bench
+        import repro.bench.suites as suites
+        fake = {"fake": lambda: ({"t": 1.0}, {},
+                                 {"events_per_sec": 12345.0})}
+        monkeypatch.setattr(suites, "GATE_SUITES", fake)
+        monkeypatch.setattr(repro.bench, "GATE_SUITES", fake)
+        code, _text = run_cli("bench", "--out", str(tmp_path / "results"))
+        assert code == 0
+        doc = json.loads(
+            (tmp_path / "results" / "BENCH_fake.json").read_text())
+        assert doc["meta"]["events_per_sec"] == 12345.0
+        assert "events_per_sec" not in doc["metrics"]
+
+    def test_real_suites_report_wall_clock_meta(self):
+        from repro.bench import GATE_SUITES
+        metrics, _tolerances, meta = GATE_SUITES["overhead_1site"]()
+        assert meta["wall_seconds"] > 0.0
+        assert meta["events_per_sec"] > 0.0
+        # informational only: wall figures must never be gated metrics
+        assert "events_per_sec" not in metrics
+        assert "wall_seconds" not in metrics
+
+
+class TestProfile:
+    def test_profile_primes(self):
+        code, text = run_cli("profile", "primes", "--sites", "2",
+                             "--args", "20", "6", "--top", "5")
+        assert code == 0
+        assert "events/sec" in text
+        assert "msgs/sec" in text
+        assert "cumtime" in text  # pstats table present
+
+    def test_profile_dump_stats(self, tmp_path):
+        out_path = tmp_path / "primes.pstats"
+        code, text = run_cli("profile", "primes", "--sites", "1",
+                             "--args", "20", "6", "--sort", "tottime",
+                             "--out-stats", str(out_path))
+        assert code == 0
+        assert out_path.exists()
+        import pstats
+        pstats.Stats(str(out_path))  # parseable
+
+    def test_profile_unknown_app(self):
+        code, text = run_cli("profile", "nonesuch")
+        assert code == 2
+        assert "unknown app" in text
+
 
 class TestTable1:
     def test_unknown_row_rejected(self):

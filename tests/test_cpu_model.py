@@ -98,6 +98,36 @@ class TestSharing:
         sim.run()
         assert cpu.active_jobs == 0
 
+    def test_stale_wakeup_rearms_without_advancing(self, sim, cpu):
+        """Admitting work pushes the completion later; the armed event is
+        left in place and its stale fire must not change accounting."""
+        done = []
+        cpu.run(1.0, lambda: done.append(("a", sim.now)))
+        # admitted just before the original t=1.0 target: the old event
+        # fires stale at 1.0 and must re-arm, not complete anything
+        sim.schedule(0.9, lambda: cpu.run(
+            1.0, lambda: done.append(("b", sim.now))))
+        sim.run()
+        # a: 0.9 done at admission, 0.1 left shared with b -> +0.2 -> 1.1
+        # b: then runs alone 0.9 -> 2.0
+        assert dict(done)["a"] == pytest.approx(1.1)
+        assert dict(done)["b"] == pytest.approx(2.0)
+        assert cpu.busy_total == pytest.approx(2.0)
+        assert cpu.active_jobs == 0
+
+    def test_many_admissions_single_event_churn(self, sim, cpu):
+        """A burst of admissions while one event is armed still completes
+        every job at the processor-sharing times."""
+        done = []
+        for i in range(8):
+            sim.schedule(i * 0.01, lambda i=i: cpu.run(
+                0.5, lambda i=i: done.append(i)))
+        sim.run()
+        assert sorted(done) == list(range(8))
+        assert cpu.busy_total == pytest.approx(8 * 0.5)
+        # total elapsed = total work (one CPU, always busy)
+        assert sim.now == pytest.approx(0.07 + 0.5 * 8 - 0.07)
+
     def test_determinism(self):
         def run_once():
             sim = Simulator(seed=1)

@@ -74,6 +74,44 @@ class TestWire:
             SDMessage.decode(bad)
 
 
+class TestEncodeOnce:
+    def test_encode_returns_same_object(self):
+        msg = sample()
+        assert msg.encode() is msg.encode()
+
+    def test_wire_size_matches_encode(self):
+        msg = sample()
+        assert msg.wire_size() == len(msg.encode())
+        # in either probe order
+        other = sample(payload={"big": list(range(100))})
+        assert len(other.encode()) == other.wire_size()
+
+    def test_mutation_after_encode_does_not_change_wire(self):
+        msg = sample(payload={"load": 3.0})
+        wire = msg.encode()
+        msg.payload["load"] = 99.0
+        msg.dst_site = 5
+        assert msg.encode() is wire
+        assert SDMessage.decode(msg.encode()).payload == {"load": 3.0}
+
+    def test_invalidate_wire_re_encodes(self):
+        msg = sample()
+        before = msg.encode()
+        msg.seq = 1234
+        msg.invalidate_wire()
+        after = msg.encode()
+        assert after != before
+        assert SDMessage.decode(after).seq == 1234
+
+    def test_decode_leaves_cache_cold(self):
+        # a received message may be re-addressed (heir forwarding) before
+        # it is encoded again, so decode must not pin the incoming bytes
+        wire = sample().encode()
+        decoded = SDMessage.decode(wire)
+        decoded.dst_site = 9
+        assert SDMessage.decode(decoded.encode()).dst_site == 9
+
+
 class TestReply:
     def test_make_reply_swaps_endpoints(self):
         request = sample()

@@ -10,8 +10,9 @@ from hypothesis import strategies as st
 
 from repro.common.errors import SerializationError
 from repro.common.ids import FileHandle, GlobalAddress
-from repro.serde import dumps, encoded_size, loads
-from repro.serde.codec import read_uvarint, write_uvarint
+from repro.serde import dumps, encoded_size, loads, measured_size
+from repro.serde.codec import (MAX_DECODE_DEPTH, read_uvarint, write_uvarint,
+                               zigzag)
 
 
 class TestScalars:
@@ -173,3 +174,90 @@ def test_encoding_deterministic_property(value):
 @given(st.integers())
 def test_int_roundtrip_property(value):
     assert loads(dumps(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# size accounting, input safety, and robustness against corrupt wire data
+
+
+class TestMeasuredSize:
+    @pytest.mark.parametrize("value", [
+        None, True, 0, -1, 127, 128, 2**62, -(2**63), 2**100, -(2**100),
+        1.5, float("nan"), "", "ascii", "üñïçödé", b"", b"\x00" * 200,
+        [], [1, [2, [3]]], (1, "a"), {}, {"k": [1.5, None]},
+        {(1, 2): b"x"}, set(), {1, "a", 2.5},
+        GlobalAddress(17, 123456), FileHandle(3, 99),
+    ])
+    def test_matches_dumps(self, value):
+        assert measured_size(value) == len(dumps(value))
+
+    def test_rejects_like_dumps(self):
+        with pytest.raises(SerializationError):
+            measured_size(object())
+
+    @settings(max_examples=200)
+    @given(wire_values)
+    def test_matches_dumps_property(self, value):
+        assert measured_size(value) == len(dumps(value))
+
+
+class TestInputSafety:
+    def test_zigzag_out_of_range_raises(self):
+        # a silent wrong value here would corrupt wire sizes undetected
+        with pytest.raises(SerializationError):
+            zigzag(2**63)
+        with pytest.raises(SerializationError):
+            zigzag(-(2**63) - 1)
+        assert zigzag(2**63 - 1) == (2**64 - 2)
+        assert zigzag(-(2**63)) == (2**64 - 1)
+
+    def test_decode_depth_guard(self):
+        # deeper than MAX_DECODE_DEPTH must fail with SerializationError,
+        # not blow the interpreter's recursion limit
+        data = dumps("leaf")
+        for _ in range(MAX_DECODE_DEPTH + 10):
+            data = b"L\x01" + data  # list-of-one wrapper
+        with pytest.raises(SerializationError):
+            loads(data)
+
+    def test_within_depth_limit_roundtrips(self):
+        value = "leaf"
+        for _ in range(MAX_DECODE_DEPTH - 2):
+            value = [value]
+        assert loads(dumps(value)) == value
+
+    def test_loads_accepts_memoryview_and_bytearray(self):
+        value = {"nested": [1, 2.5, "s", b"b", (None, True)]}
+        data = dumps(value)
+        assert loads(memoryview(data)) == value
+        assert loads(bytearray(data)) == value
+        # a sliced view too (zero-copy framing path)
+        padded = b"xx" + data + b"yy"
+        assert loads(memoryview(padded)[2:-2]) == value
+
+
+@settings(max_examples=150)
+@given(wire_values)
+def test_truncation_never_escapes_serialization_error(value):
+    """Every strict prefix of a valid encoding must raise SerializationError
+    — never IndexError/struct.error/RecursionError or a silent value."""
+    data = dumps(value)
+    for cut in range(len(data)):
+        with pytest.raises(SerializationError):
+            loads(data[:cut])
+
+
+@settings(max_examples=150)
+@given(wire_values, st.data())
+def test_corruption_is_contained(value, data_strategy):
+    """Flipping one byte either still decodes (to something) or raises
+    SerializationError; no other exception type may escape."""
+    data = bytearray(dumps(value))
+    index = data_strategy.draw(
+        st.integers(min_value=0, max_value=len(data) - 1))
+    flip = data_strategy.draw(st.integers(min_value=1, max_value=255))
+    data[index] ^= flip
+    try:
+        loads(bytes(data))
+    except SerializationError:
+        pass

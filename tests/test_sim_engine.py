@@ -138,6 +138,57 @@ class TestDeterminism:
         assert seen == [1.0]
 
 
+class TestCompaction:
+    def test_heavy_cancellation_compacts_and_preserves_survivors(self, sim):
+        fired = []
+        survivors = []
+        doomed = []
+        for i in range(500):
+            if i % 5 == 0:
+                survivors.append((i, sim.schedule(float(i), fired.append, i)))
+            else:
+                doomed.append(sim.schedule(float(i), fired.append, i))
+        for event in doomed:
+            event.cancel()
+        # the compaction sweep must have culled the dead entries already
+        assert len(sim._queue) < 500
+        assert sim.pending == len(survivors)
+        sim.run()
+        assert fired == [i for i, _e in survivors]
+
+    def test_cancel_is_idempotent_for_count(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=1.5)
+        event.cancel()  # already popped from the heap
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.pending == 0
+
+    def test_interleaved_cancel_and_schedule_stays_exact(self, sim):
+        live = []
+        for round_no in range(20):
+            events = [sim.schedule(float(round_no) + 1.0, lambda: None)
+                      for _ in range(50)]
+            for event in events[:40]:
+                event.cancel()
+            live.extend(events[40:])
+        assert sim.pending == len(live)
+        count = 0
+        while sim.step():
+            count += 1
+        assert count == len(live)
+
+
 @settings(max_examples=50)
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
 def test_events_fire_in_nondecreasing_time_property(delays):
