@@ -1,11 +1,11 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench bench-gate smoke-trace profile-smoke
+.PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
-# profiler smoke
-verify: test smoke-trace bench-gate profile-smoke
+# profiler smoke + chaos smoke
+verify: test smoke-trace bench-gate profile-smoke chaos-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -26,3 +26,10 @@ smoke-trace:
 # CI smoke for the profiling layer: a small primes run under cProfile
 profile-smoke:
 	$(PY) -m repro.cli profile primes --sites 2 --args 20 6 --top 12
+
+# CI smoke for the fault-injection layer: replay the committed regression
+# corpus, then a short seeded fuzz sweep (seeds verified green; a failure
+# here means a recovery invariant regressed)
+chaos-smoke:
+	$(PY) -m repro.cli chaos corpus
+	$(PY) -m repro.cli chaos fuzz --seeds 1 6

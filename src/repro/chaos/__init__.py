@@ -1,0 +1,24 @@
+"""Deterministic fault injection ("chaos") for the sim kernel.
+
+Everything here is sim-only: fault plans are schedules of crashes,
+sign-offs, partitions, link mangling windows, and slowdowns pinned to
+exact virtual times, so a run is bit-reproducible from its plan + seed.
+See DESIGN.md, "Fault injection & invariants".
+"""
+
+from repro.chaos.engine import ChaosController
+from repro.chaos.fuzz import (ChaosRunResult, FuzzFailure, chaos_config,
+                              fuzz, journal_fingerprint, run_plan,
+                              verify_determinism)
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.plan import (CrashFault, FaultPlan, LinkFault,
+                              PartitionFault, SignOffFault, SlowFault,
+                              random_plan, shrink_plan)
+
+__all__ = [
+    "ChaosController", "ChaosRunResult", "CrashFault", "FaultPlan",
+    "FuzzFailure", "InvariantChecker", "LinkFault", "PartitionFault",
+    "SignOffFault", "SlowFault", "Violation", "chaos_config", "fuzz",
+    "journal_fingerprint", "random_plan", "run_plan", "shrink_plan",
+    "verify_determinism",
+]

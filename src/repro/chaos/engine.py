@@ -1,0 +1,160 @@
+"""The chaos controller: injects a :class:`FaultPlan` into a sim cluster.
+
+Two injection surfaces:
+
+* **Scheduled actions** (crash, sign-off, slowdown) fire at exact virtual
+  times through :class:`~repro.site.simcluster.SimCluster` hooks.
+* **Link mangling** (partition, drop, duplicate, delay, reorder) hooks
+  :meth:`SimNetwork.send` — the network consults ``network.chaos`` per
+  message and the controller answers with a list of delivery offsets
+  (empty = dropped, two entries = duplicated, shifted = delayed).
+
+Partitions model an *outage on a reliable transport*: traffic crossing
+the cut is held back and delivered just after the heal (TCP retransmits
+across a brief outage; it does not silently lose acknowledged sends).
+Partitions that outlive the heartbeat timeout therefore still escalate
+to crash suspicion — no heartbeat gets through until the heal — while
+sub-timeout partitions stay survivable, which is exactly the failure
+model the runtime promises.  Silent loss is modelled separately by
+``LinkFault.drop``, and surviving *that* is the recovery layer's
+ack/retry job.
+
+All probabilistic decisions draw from the controller's own seeded RNG,
+never the simulator's, so (a) a chaos run is bit-reproducible from the
+plan + seed and (b) attaching a controller does not perturb the RNG
+stream of chaos-free runs (the bench baselines stay bit-identical).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.chaos.plan import (CrashFault, FaultPlan, LinkFault,
+                              PartitionFault, SignOffFault, SlowFault)
+from repro.common.errors import SDVMError
+
+#: mixed into the plan seed so the injection stream is decorrelated from
+#: any other consumer of the same seed
+_CHAOS_SEED_SALT = 0xC4A05
+
+
+class ChaosController:
+    """Applies one fault plan to one cluster run."""
+
+    def __init__(self, cluster, plan: FaultPlan) -> None:  # noqa: ANN001
+        plan.validate()
+        if plan.nsites != len(cluster.sites):
+            raise SDVMError(
+                f"plan wants {plan.nsites} sites, cluster has "
+                f"{len(cluster.sites)}")
+        self.cluster = cluster
+        self.plan = plan
+        self.rng = random.Random((plan.seed << 4) ^ _CHAOS_SEED_SALT)
+        #: site index -> physical network address
+        self._phys: Dict[int, int] = {
+            index: int(site.kernel.local_physical())
+            for index, site in enumerate(cluster.sites)}
+        self._partitions: List[PartitionFault] = []
+        self._links: List[LinkFault] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Arm every fault; called once before the run starts."""
+        if self._installed:
+            raise SDVMError("chaos controller already installed")
+        self._installed = True
+        sim = self.cluster.sim
+        for fault in self.plan.faults:
+            if isinstance(fault, CrashFault):
+                sim.schedule_at(fault.at, self._do_crash, fault.site)
+            elif isinstance(fault, SignOffFault):
+                sim.schedule_at(fault.at, self._do_sign_off, fault.site)
+            elif isinstance(fault, SlowFault):
+                sim.schedule_at(fault.start, self._set_slowdown,
+                                fault.site, fault.factor)
+                sim.schedule_at(fault.end, self._set_slowdown,
+                                fault.site, 1.0)
+            elif isinstance(fault, PartitionFault):
+                self._partitions.append(fault)
+            elif isinstance(fault, LinkFault):
+                self._links.append(fault)
+            else:
+                raise SDVMError(f"unhandled fault {fault!r}")
+        if self._partitions or self._links:
+            self.cluster.network.chaos = self
+
+    # ------------------------------------------------------------------
+    # scheduled actions
+
+    def _trace(self, kind: str, detail: object) -> None:
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.emit(self.cluster.sim.now, -1, "chaos_fault",
+                        kind, detail)
+
+    def _do_crash(self, index: int) -> None:
+        site = self.cluster.site_by_index(index)
+        if site.running:
+            self._trace("crash", index)
+            site.crash()
+
+    def _do_sign_off(self, index: int) -> None:
+        site = self.cluster.site_by_index(index)
+        if site.running:
+            self._trace("sign_off", index)
+            site.sign_off()
+
+    def _set_slowdown(self, index: int, factor: float) -> None:
+        site = self.cluster.site_by_index(index)
+        cpu = getattr(site.kernel, "cpu", None)
+        if cpu is not None and site.running:
+            self._trace("slow", f"{index}x{factor}")
+            cpu.slowdown = factor
+
+    # ------------------------------------------------------------------
+    # link mangling (called by SimNetwork.send per message)
+
+    def _crosses_partition(self, fault: PartitionFault,
+                           src: int, dst: int) -> bool:
+        group = {self._phys[i] for i in fault.group}
+        return (src in group) != (dst in group)
+
+    def filter_send(self, src: int, dst: int) -> Optional[List[float]]:
+        """Decide the fate of one message on the (src, dst) physical link.
+
+        Returns ``None`` for "untouched" (the network takes its normal
+        single-delivery path with zero chaos overhead), else a list of
+        extra delivery delays: empty = dropped, one entry per copy
+        otherwise.
+        """
+        now = self.cluster.sim.now
+        latency = self.cluster.network.config.latency
+        for fault in self._partitions:
+            if (fault.start <= now < fault.end
+                    and self._crosses_partition(fault, src, dst)):
+                # hold the message until just after the heal: reliable
+                # transports retransmit across an outage, they don't drop
+                return [fault.end - now + self.rng.random() * latency]
+        offsets: Optional[List[float]] = None
+        for fault in self._links:
+            if not fault.start <= now < fault.end:
+                continue
+            if fault.src >= 0 and self._phys[fault.src] != src:
+                continue
+            if fault.dst >= 0 and self._phys[fault.dst] != dst:
+                continue
+            if fault.drop > 0.0 and self.rng.random() < fault.drop:
+                return []
+            if offsets is None:
+                offsets = [0.0]
+            if fault.delay > 0.0:
+                offsets = [extra + fault.delay for extra in offsets]
+            if fault.reorder > 0.0 and self.rng.random() < fault.reorder:
+                shift = (3.0 + self.rng.random()) * latency
+                offsets = [extra + shift for extra in offsets]
+            if fault.dup > 0.0 and self.rng.random() < fault.dup:
+                offsets.append(offsets[0]
+                               + (1.0 + self.rng.random()) * latency)
+        return offsets

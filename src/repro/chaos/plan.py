@@ -1,0 +1,300 @@
+"""Fault plans: typed, serializable schedules of injected failures.
+
+A :class:`FaultPlan` is the unit of chaos testing — a cluster shape plus a
+list of faults pinned to exact virtual times.  Plans round-trip through
+JSON so failing schedules found by the fuzzer can be shrunk to minimal
+repros and committed as a regression corpus (``tests/chaos_corpus/``).
+
+Every source of randomness used while *generating* a plan lives in a
+dedicated ``random.Random(seed)``; injecting the plan draws from the chaos
+engine's own RNG stream (never the simulator's), so the same seed + plan
+always replays the exact same run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.common.errors import SDVMError
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Abrupt site death at ``at`` (no relocation, no goodbye)."""
+
+    at: float
+    site: int
+    kind: str = "crash"
+
+
+@dataclass(frozen=True)
+class SignOffFault:
+    """Orderly departure at ``at`` (state relocates to an heir)."""
+
+    at: float
+    site: int
+    kind: str = "sign_off"
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Bidirectional partition between ``group`` and everyone else.
+
+    All traffic crossing the cut is dropped during [start, end); the
+    partition heals itself at ``end``.  Keep the window shorter than the
+    heartbeat timeout unless the plan *wants* mutual crash suspicion.
+    """
+
+    start: float
+    end: float
+    group: Tuple[int, ...]
+    kind: str = "partition"
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A window of message mangling on matching links.
+
+    ``src``/``dst`` select one direction (-1 matches any site), so a
+    single fault can target one link, one site's ingress/egress, or the
+    whole fabric.  ``drop``/``dup``/``reorder`` are per-message
+    probabilities; ``delay`` is a fixed extra delivery delay in seconds.
+    """
+
+    start: float
+    end: float
+    src: int = -1
+    dst: int = -1
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+    kind: str = "link"
+
+
+@dataclass(frozen=True)
+class SlowFault:
+    """CPU slowdown: site runs ``factor``x slower during [start, end)."""
+
+    start: float
+    end: float
+    site: int
+    factor: float = 4.0
+    kind: str = "slow"
+
+
+Fault = object  # union of the five dataclasses above
+
+_FAULT_TYPES: Dict[str, Type] = {
+    "crash": CrashFault,
+    "sign_off": SignOffFault,
+    "partition": PartitionFault,
+    "link": LinkFault,
+    "slow": SlowFault,
+}
+
+
+def fault_from_dict(data: dict) -> Fault:
+    kind = data.get("kind")
+    cls = _FAULT_TYPES.get(kind)
+    if cls is None:
+        raise SDVMError(f"unknown fault kind {kind!r}")
+    kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+    if cls is PartitionFault:
+        kwargs["group"] = tuple(kwargs.get("group", ()))
+    return cls(**kwargs)
+
+
+@dataclass
+class FaultPlan:
+    """One reproducible chaos scenario: cluster shape + fault schedule."""
+
+    seed: int = 0
+    nsites: int = 4
+    #: site index the workload is submitted at — the frontend must stay up
+    submit_site: int = 0
+    #: checkpoint wave interval for the run
+    ckpt_interval: float = 0.2
+    #: virtual-time budget for the run (progress timeout handles hangs)
+    horizon: float = 60.0
+    #: whether the plan expects the program to finish with a correct
+    #: result (False: completion-or-declared-failure is enough)
+    expect_complete: bool = True
+    name: str = ""
+    faults: List[Fault] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        for f in self.faults:
+            for attr in ("site", "src", "dst"):
+                idx = getattr(f, attr, None)
+                if idx is not None and idx >= self.nsites:
+                    raise SDVMError(
+                        f"fault {f} names site {idx} but the plan has "
+                        f"only {self.nsites} sites")
+            if isinstance(f, PartitionFault):
+                if any(i >= self.nsites for i in f.group):
+                    raise SDVMError(f"partition group {f.group} exceeds "
+                                    f"nsites={self.nsites}")
+
+    def crash_count(self) -> int:
+        return sum(1 for f in self.faults
+                   if isinstance(f, (CrashFault, SignOffFault)))
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the corpus format)
+
+    def to_dict(self) -> dict:
+        doc = {"schema": "sdvm-chaos/1",
+               "seed": self.seed, "nsites": self.nsites,
+               "submit_site": self.submit_site,
+               "ckpt_interval": self.ckpt_interval,
+               "horizon": self.horizon,
+               "expect_complete": self.expect_complete,
+               "name": self.name,
+               "faults": [asdict(f) for f in self.faults]}
+        for f in doc["faults"]:
+            if "group" in f:
+                f["group"] = list(f["group"])
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        schema = doc.get("schema", "sdvm-chaos/1")
+        if schema != "sdvm-chaos/1":
+            raise SDVMError(f"unsupported chaos plan schema {schema!r}")
+        plan = cls(seed=doc.get("seed", 0), nsites=doc.get("nsites", 4),
+                   submit_site=doc.get("submit_site", 0),
+                   ckpt_interval=doc.get("ckpt_interval", 0.2),
+                   horizon=doc.get("horizon", 60.0),
+                   expect_complete=doc.get("expect_complete", True),
+                   name=doc.get("name", ""),
+                   faults=[fault_from_dict(f)
+                           for f in doc.get("faults", [])])
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def replace_faults(self, faults: List[Fault]) -> "FaultPlan":
+        return FaultPlan(seed=self.seed, nsites=self.nsites,
+                         submit_site=self.submit_site,
+                         ckpt_interval=self.ckpt_interval,
+                         horizon=self.horizon,
+                         expect_complete=self.expect_complete,
+                         name=self.name, faults=list(faults))
+
+
+# ---------------------------------------------------------------------------
+# seeded plan generation (the fuzzer's front half)
+
+#: crashes are scheduled no earlier than this many checkpoint intervals in,
+#: so at least one wave has committed and recovery (not declared failure)
+#: is the expected outcome
+_MIN_CRASH_WAVES = 3.0
+
+
+def random_plan(seed: int, nsites: int = 4,
+                ckpt_interval: float = 0.2) -> FaultPlan:
+    """Generate one seeded random fault plan.
+
+    The generator keeps plans *survivable by construction*: the submit
+    site never dies (the frontend holds the program handle), at least one
+    site stays alive, partitions heal well inside the heartbeat timeout,
+    and crashes land only after a checkpoint has plausibly committed —
+    so ``expect_complete`` is True and any non-completion is a real bug.
+    """
+    rng = random.Random(seed)
+    plan = FaultPlan(seed=seed, nsites=nsites, submit_site=0,
+                     ckpt_interval=ckpt_interval, name=f"fuzz-{seed}")
+    killable = [i for i in range(nsites) if i != plan.submit_site]
+    rng.shuffle(killable)
+    # keep one non-frontend site untouched as a guaranteed survivor
+    killable = killable[:max(0, len(killable) - 1)]
+
+    faults: List[Fault] = []
+    t_min = _MIN_CRASH_WAVES * ckpt_interval
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.40 and killable:
+            site = killable.pop()
+            faults.append(CrashFault(at=round(
+                t_min + rng.random() * 1.5, 4), site=site))
+        elif roll < 0.55 and killable:
+            site = killable.pop()
+            faults.append(SignOffFault(at=round(
+                t_min + rng.random() * 1.5, 4), site=site))
+        elif roll < 0.75:
+            start = round(0.3 + rng.random() * 1.2, 4)
+            # heal inside any sane heartbeat timeout
+            duration = round(0.01 + rng.random() * 0.04, 4)
+            group = (rng.randrange(nsites),)
+            faults.append(PartitionFault(start=start,
+                                         end=round(start + duration, 4),
+                                         group=group))
+        elif roll < 0.90:
+            start = round(0.3 + rng.random() * 1.2, 4)
+            duration = round(0.05 + rng.random() * 0.3, 4)
+            faults.append(LinkFault(start=start,
+                                    end=round(start + duration, 4),
+                                    dup=round(0.1 + rng.random() * 0.4, 3),
+                                    delay=round(rng.random() * 2e-3, 6),
+                                    reorder=round(rng.random() * 0.3, 3)))
+        else:
+            start = round(0.3 + rng.random() * 1.0, 4)
+            faults.append(SlowFault(start=start,
+                                    end=round(start + 0.2
+                                              + rng.random() * 0.6, 4),
+                                    site=rng.randrange(nsites),
+                                    factor=round(2.0 + rng.random() * 6.0,
+                                                 2)))
+    faults.sort(key=lambda f: (getattr(f, "at", getattr(f, "start", 0.0)),
+                               f.kind))
+    plan.faults = faults
+    plan.validate()
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# plan shrinking (the fuzzer's back half)
+
+def shrink_plan(plan: FaultPlan,
+                still_fails: Callable[[FaultPlan], bool],
+                max_rounds: int = 8) -> FaultPlan:
+    """Greedy delta-debugging: drop faults while the failure reproduces.
+
+    ``still_fails`` re-runs a candidate plan and reports whether the
+    original failure is still observed.  Deterministic replay makes this
+    sound: a candidate either reproduces or it does not, with no flake in
+    between.  Returns the smallest failing plan found.
+    """
+    current = plan
+    for _ in range(max_rounds):
+        shrunk = False
+        for index in range(len(current.faults)):
+            candidate = current.replace_faults(
+                current.faults[:index] + current.faults[index + 1:])
+            if candidate.faults != current.faults and still_fails(candidate):
+                current = candidate
+                shrunk = True
+                break
+        if not shrunk:
+            break
+    return current

@@ -333,6 +333,68 @@ def cmd_table1(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Fault-injection front end: replay plans, sweep seeds, run corpus."""
+    import glob
+    import os
+
+    from repro.chaos import FaultPlan, fuzz, run_plan, verify_determinism
+
+    def replay(path: str) -> int:
+        plan = FaultPlan.load(path)
+        result = run_plan(plan)
+        label = plan.name or os.path.basename(path)
+        if result.ok:
+            print(f"{label}: PASS ({len(plan.faults)} fault(s), "
+                  f"fingerprint {result.fingerprint[:12]})", file=out)
+        else:
+            print(f"{label}: FAIL", file=out)
+            for violation in result.violations:
+                print(f"  {violation}", file=out)
+            return 1
+        if args.twice:
+            first, second = verify_determinism(plan)
+            if first != second:
+                print(f"{label}: NOT deterministic "
+                      f"({first[:12]} != {second[:12]})", file=out)
+                return 1
+            print(f"{label}: deterministic across two runs", file=out)
+        return 0
+
+    if args.action == "run":
+        if not args.target:
+            print("chaos run needs a plan file", file=out)
+            return 2
+        return replay(args.target)
+
+    if args.action == "corpus":
+        paths = sorted(glob.glob(os.path.join(args.dir, "*.json")))
+        if not paths:
+            print(f"no plans under {args.dir}", file=out)
+            return 2
+        worst = 0
+        for path in paths:
+            worst = max(worst, replay(path))
+        return worst
+
+    # action == "fuzz"
+    lo, hi = args.seeds
+    failures = fuzz(range(lo, hi + 1), nsites=args.sites,
+                    shrink=not args.no_shrink,
+                    report=lambda line: print(line, file=out))
+    for failure in failures:
+        if args.save_dir:
+            os.makedirs(args.save_dir, exist_ok=True)
+            path = os.path.join(args.save_dir,
+                                f"fuzz_seed_{failure.seed}.json")
+            failure.shrunk.save(path)
+            print(f"seed {failure.seed}: shrunk plan saved to {path}",
+                  file=out)
+    print(f"fuzz: {hi - lo + 1} seed(s), {len(failures)} failure(s)",
+          file=out)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SDVM reproduction command line")
@@ -425,6 +487,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also dump the raw pstats file")
     profile_parser.add_argument("--seed", type=int, default=0)
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="deterministic fault injection: replay a plan, "
+                      "sweep fuzz seeds, or run the regression corpus")
+    chaos_parser.add_argument("action", choices=["run", "fuzz", "corpus"])
+    chaos_parser.add_argument("target", nargs="?", default="",
+                              help="plan file for `run`")
+    chaos_parser.add_argument("--twice", action="store_true",
+                              help="run the plan twice and compare journal "
+                                   "fingerprints")
+    chaos_parser.add_argument("--dir", default="tests/chaos_corpus",
+                              help="corpus directory for `corpus`")
+    chaos_parser.add_argument("--seeds", nargs=2, type=int,
+                              default=[1, 8], metavar=("LO", "HI"),
+                              help="inclusive seed range for `fuzz`")
+    chaos_parser.add_argument("--sites", type=int, default=4,
+                              help="cluster size for generated fuzz plans")
+    chaos_parser.add_argument("--no-shrink", action="store_true",
+                              help="report failures without minimizing")
+    chaos_parser.add_argument("--save-dir", default="",
+                              help="write shrunk failing plans here")
+
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
     table_parser.add_argument("--p", type=int, default=100)
@@ -444,6 +527,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
         "critical-path": cmd_critical_path,
         "bench": cmd_bench,
         "profile": cmd_profile,
+        "chaos": cmd_chaos,
         "table1": cmd_table1,
     }
     return handlers[args.command](args, out)

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.common.ids import ManagerId
-from repro.messages import MsgType, SDMessage
+from repro.messages import MsgType, SDMessage, make_reply
 from repro.site.manager_base import Manager
+
+#: attempts per RECOVER_BEGIN/STATE/DONE before giving up on a target;
+#: each attempt waits one settle delay for the RECOVER_ACK
+_RECOVER_RETRIES = 5
 
 
 class CrashManager(Manager):
@@ -23,7 +27,19 @@ class CrashManager(Manager):
         #: last committed snapshot: {site logical: state}, and its wave id
         self.committed_wave = -1
         self.committed: Dict[int, dict] = {}
+        #: which coordinator produced ``committed`` (-1: none yet) — used
+        #: to fence stale CHECKPOINT_REPLICA duplicates without rejecting
+        #: a successor coordinator's restarted wave numbering
+        self.committed_src = -1
         self._recovering = False
+        #: crashes observed while a recovery is in flight; drained one at
+        #: a time so recoveries never interleave
+        self._crash_queue: List[int] = []
+        #: bumped per recovery — fences the settle-delay continuation
+        #: timers of an older recovery
+        self._recover_seq = 0
+        #: (epoch, shard) pairs already adopted (duplicate-delivery fence)
+        self._recover_shards_applied: Set[tuple] = set()
         #: (wave, coordinator) while waiting for local executions to drain
         self._pending_ack: Optional[tuple] = None
         #: participant: highest committed/aborted wave seen per coordinator
@@ -158,7 +174,10 @@ class CrashManager(Manager):
     # coordinator collection
 
     def _on_ack(self, wave: int, src: int) -> None:
-        if wave != self._wave:
+        if wave != self._wave or src not in self._acks_pending:
+            # stale wave, or a duplicate delivery of an ack already
+            # counted — re-entering the empty-set branch would launch a
+            # second snapshot round for the same wave
             return
         self._acks_pending.discard(src)
         if not self._acks_pending:
@@ -173,13 +192,17 @@ class CrashManager(Manager):
                             {"wave": wave, "phase": "snapshot"})
 
     def _on_state(self, wave: int, src: int, state: dict) -> None:
-        if wave != self._wave:
+        if wave != self._wave or src not in self._states_pending:
+            # stale wave, or a duplicated snapshot arriving after the wave
+            # committed — without this fence the duplicate re-commits the
+            # same wave and re-broadcasts CHECKPOINT_COMMIT
             return
         self._collected[src] = state
         self._states_pending.discard(src)
         if not self._states_pending:
             self.committed_wave = wave
             self.committed = dict(self._collected)
+            self.committed_src = self.local_id
             self.stats.inc("checkpoints_committed")
             self.stats.add("wave_seconds",
                            self.kernel.now - self._wave_started_at)
@@ -190,6 +213,48 @@ class CrashManager(Manager):
             for logical in list(self.committed):
                 self._send_ctrl(logical, MsgType.CHECKPOINT_COMMIT,
                                 {"wave": wave})
+            self._replicate_snapshot(wave)
+
+    # ------------------------------------------------------------------
+    # snapshot replication (coordinator-crash survival)
+
+    def _backup_sites(self) -> List[int]:
+        """The next ``checkpoint.replicas`` coordinator-successors."""
+        records = [r for r in self.site.cluster_manager.sites.values()
+                   if r.alive and r.logical != self.local_id]
+        reliable = [r for r in records if r.reliable]
+        pool = reliable if reliable else records
+        pool.sort(key=lambda r: r.logical)
+        return [r.logical
+                for r in pool[:max(0, self.config.checkpoint.replicas)]]
+
+    def _replicate_snapshot(self, wave: int) -> None:
+        """Copy the committed snapshot onto backup sites.
+
+        Without this, the last good checkpoint dies with its coordinator
+        and the succeeding coordinator (lowest alive site) could only
+        declare the programs failed; with a replica it drives rollback
+        recovery itself.  Shards travel as a (site, state) pair list —
+        message payload dicts are keyed by strings on the wire.
+        """
+        shards = [[shard_site, state]
+                  for shard_site, state in self.committed.items()]
+        for logical in self._backup_sites():
+            self._send_ctrl(logical, MsgType.CHECKPOINT_REPLICA,
+                            {"wave": wave, "shards": shards})
+
+    def _on_replica(self, wave: int, shards: list, src: int) -> None:
+        if src == self.committed_src and wave <= self.committed_wave:
+            # duplicate or out-of-order copy from the same coordinator; a
+            # *new* coordinator restarts wave numbering, so only same-src
+            # copies are comparable
+            self.stats.inc("stale_replicas_ignored")
+            return
+        self.committed_wave = wave
+        self.committed = {int(shard_site): state
+                          for shard_site, state in shards}
+        self.committed_src = src
+        self.stats.inc("replicas_adopted")
 
     def _abort_wave(self, reason: str) -> Optional[int]:
         """Coordinator: cancel the in-flight checkpoint wave, if any.
@@ -245,6 +310,17 @@ class CrashManager(Manager):
         self.stats.inc("crashes_observed")
         if not self.is_coordinator():
             return
+        if self._recovering:
+            # serialize: starting a second recovery now would interleave
+            # RECOVER_BEGIN/STATE/DONE waves, and the first recovery's
+            # finish timer would unpause survivors mid-rollback
+            if logical not in self._crash_queue:
+                self._crash_queue.append(logical)
+                self.stats.inc("crashes_queued")
+            return
+        self._handle_crash(logical)
+
+    def _handle_crash(self, logical: int) -> None:
         # a wave the dead site participated in can never finish — abort it
         # before recovery so stale ACK/STATE traffic is fenced out
         aborted = self._abort_wave(f"site {logical} died mid-wave")
@@ -265,6 +341,7 @@ class CrashManager(Manager):
 
     def _start_recovery(self, dead: int) -> None:
         self._recovering = True
+        self._recover_seq += 1
         self.stats.inc("recoveries")
         alive = [r.logical for r in self.site.cluster_manager.sites.values()
                  if r.alive]
@@ -276,14 +353,59 @@ class CrashManager(Manager):
         # bumps self.site.epoch, so an inline read would skew later sends
         new_epoch = self.site.epoch + 1
         for logical in alive:
-            self._send_ctrl(logical, MsgType.RECOVER_BEGIN,
-                            {"epoch": new_epoch, "dead": dead,
-                             "heir": self.local_id})
+            self._send_recover(logical, MsgType.RECOVER_BEGIN,
+                               {"epoch": new_epoch, "dead": dead,
+                                "heir": self.local_id})
         self.kernel.call_later(self._settle_delay(),
-                               self._distribute_snapshot, dead, set(alive))
+                               self._distribute_snapshot, dead, set(alive),
+                               self._recover_seq)
 
-    def _on_recover_begin(self, payload: dict) -> None:
-        self.site.epoch = payload["epoch"]
+    def _send_recover(self, logical: int, mtype: MsgType, payload: dict,
+                      attempt: int = 0) -> None:
+        """Send recovery control with ack+retry.
+
+        RECOVER_BEGIN/STATE/DONE are fire-and-forget no longer: under a
+        lossy transport a single dropped RECOVER_DONE left the survivor
+        paused forever.  Each send expects a RECOVER_ACK within one settle
+        delay and is re-sent up to ``_RECOVER_RETRIES`` times; retries to
+        a target that has since been marked dead are suppressed.
+        """
+        if logical == self.local_id:
+            self._handle_ctrl(mtype, dict(payload), self.local_id)
+            return
+        if not self.site.running:
+            return
+        record = self.site.cluster_manager.sites.get(logical)
+        if record is None or not record.alive:
+            return
+        msg = SDMessage(
+            type=mtype,
+            src_site=self.local_id, src_manager=ManagerId.CRASH,
+            dst_site=logical, dst_manager=ManagerId.CRASH,
+            payload=dict(payload),
+        )
+
+        def on_timeout() -> None:
+            if attempt + 1 >= _RECOVER_RETRIES:
+                self.stats.inc("recover_retries_exhausted")
+                self.log("giving up on %s to site %d after %d attempts",
+                         mtype.name, logical, attempt + 1)
+                return
+            self.stats.inc("recover_retries")
+            self._send_recover(logical, mtype, payload, attempt + 1)
+
+        self.site.message_manager.request(
+            msg, on_reply=lambda reply: None,
+            timeout=self._settle_delay(), on_timeout=on_timeout)
+
+    def _on_recover_begin(self, payload: dict) -> bool:
+        epoch = payload["epoch"]
+        if epoch <= self.site.epoch:
+            # duplicate delivery or a retry of a recovery we already
+            # entered — re-applying would wipe restored state
+            self.stats.inc("stale_recover_begin")
+            return True
+        self.site.epoch = epoch
         self.site.paused = True
         # forget any ack owed to a pre-recovery wave: the wave is dead, and
         # a drain-triggered stale ACK would confuse the next coordinator
@@ -295,37 +417,96 @@ class CrashManager(Manager):
             record.alive = False
             record.heir = heir
         self.site.reset_program_state()
+        return True
 
-    def _distribute_snapshot(self, dead: int, alive: Set[int]) -> None:
+    def _distribute_snapshot(self, dead: int, alive: Set[int],
+                             seq: int) -> None:
+        if seq != self._recover_seq or not self._recovering:
+            return  # superseded by a newer recovery
+        epoch = self.site.epoch  # our own RECOVER_BEGIN already bumped it
         for shard_site, state in self.committed.items():
             target = shard_site if shard_site in alive else self.local_id
-            self._send_ctrl(target, MsgType.RECOVER_STATE, {"state": state})
+            self._send_recover(target, MsgType.RECOVER_STATE,
+                               {"state": state, "epoch": epoch,
+                                "shard": shard_site})
         self.kernel.call_later(self._settle_delay(), self._finish_recovery,
-                               alive)
+                               alive, seq)
 
-    def _finish_recovery(self, alive: Set[int]) -> None:
+    def _finish_recovery(self, alive: Set[int], seq: int) -> None:
+        if seq != self._recover_seq or not self._recovering:
+            return
         self._recovering = False
         tr = self.tracer
         if tr is not None:
             tr.emit(self.kernel.now, self.local_id, "recovery_done",
                     self.site.epoch)
         for logical in alive:
-            self._send_ctrl(logical, MsgType.RECOVER_DONE, {})
+            self._send_recover(logical, MsgType.RECOVER_DONE,
+                               {"epoch": self.site.epoch})
+        self._drain_crash_queue()
 
-    def _on_recover_state(self, state: dict) -> None:
-        self.site.attraction_memory.adopt_state(state)
+    def _drain_crash_queue(self) -> None:
+        """Start the next queued recovery, if any (serial execution)."""
+        while self._crash_queue and not self._recovering:
+            if not self.site.running or not self.is_coordinator():
+                self._crash_queue.clear()
+                return
+            self._handle_crash(self._crash_queue.pop(0))
 
-    def _on_recover_done(self) -> None:
+    def _on_recover_state(self, payload: dict) -> bool:
+        epoch = payload.get("epoch", self.site.epoch)
+        if epoch > self.site.epoch:
+            # our RECOVER_BEGIN is still in flight (lost or delayed) —
+            # withhold the ack so the coordinator keeps retrying until we
+            # have actually entered the new epoch
+            self.stats.inc("early_recover_state")
+            return False
+        if epoch < self.site.epoch:
+            self.stats.inc("stale_recover_state")
+            return True
+        key = (epoch, payload.get("shard", -1))
+        if key in self._recover_shards_applied:
+            self.stats.inc("duplicate_recover_state")
+            return True
+        self._recover_shards_applied.add(key)
+        self.site.attraction_memory.adopt_state(payload["state"])
+        return True
+
+    def _on_recover_done(self, payload: dict) -> bool:
+        epoch = payload.get("epoch", self.site.epoch)
+        if epoch > self.site.epoch:
+            self.stats.inc("early_recover_done")
+            return False
+        if epoch < self.site.epoch:
+            # DONE of an older recovery arriving late — unpausing now
+            # would resume us in the middle of the newer one
+            self.stats.inc("stale_recover_done")
+            return True
         self.site.paused = False
         self.stats.inc("recoveries_completed")
         self.site.processing_manager.kick()
         self.site.scheduling_manager.kick()
+        return True
 
     # ------------------------------------------------------------------
-    def handle(self, msg: SDMessage) -> None:
-        self._handle_ctrl(msg.type, msg.payload, msg.src_site)
+    #: control kinds that carry an ack+retry contract
+    _RECOVER_CTRL = frozenset({MsgType.RECOVER_BEGIN, MsgType.RECOVER_STATE,
+                               MsgType.RECOVER_DONE})
 
-    def _handle_ctrl(self, mtype: MsgType, payload: dict, src: int) -> None:
+    def handle(self, msg: SDMessage) -> None:
+        if msg.type == MsgType.RECOVER_ACK:
+            # unsolicited ack (its request timed out first): the retry is
+            # already in flight and will be deduped on arrival
+            self.stats.inc("late_recover_acks")
+            return
+        ack = self._handle_ctrl(msg.type, msg.payload, msg.src_site)
+        if (msg.type in self._RECOVER_CTRL and ack is not False
+                and msg.src_site != self.local_id):
+            self.site.message_manager.send(
+                make_reply(msg, MsgType.RECOVER_ACK, {}))
+
+    def _handle_ctrl(self, mtype: MsgType, payload: dict,
+                     src: int) -> Optional[bool]:
         if mtype == MsgType.CHECKPOINT_BEGIN:
             if payload["phase"] == "pause":
                 self._on_pause(payload["wave"], src)
@@ -339,12 +520,14 @@ class CrashManager(Manager):
         elif mtype == MsgType.CHECKPOINT_COMMIT:
             self._on_commit(payload["wave"], src,
                             payload.get("aborted", False))
+        elif mtype == MsgType.CHECKPOINT_REPLICA:
+            self._on_replica(payload["wave"], payload["shards"], src)
         elif mtype == MsgType.RECOVER_BEGIN:
-            self._on_recover_begin(payload)
+            return self._on_recover_begin(payload)
         elif mtype == MsgType.RECOVER_STATE:
-            self._on_recover_state(payload["state"])
+            return self._on_recover_state(payload)
         elif mtype == MsgType.RECOVER_DONE:
-            self._on_recover_done()
+            return self._on_recover_done(payload)
         else:
             raise_unexpected = super().handle
             raise_unexpected(SDMessage(
@@ -360,4 +543,5 @@ class CrashManager(Manager):
         base = super().status()
         base["committed_wave"] = self.committed_wave
         base["recovering"] = self._recovering
+        base["queued_crashes"] = len(self._crash_queue)
         return base

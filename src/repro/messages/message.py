@@ -76,6 +76,8 @@ class MsgType(enum.IntEnum):
     RECOVER_BEGIN = 85         # coordinator starts rollback
     RECOVER_STATE = 86         # snapshot shard restored onto a survivor
     RECOVER_DONE = 87
+    CHECKPOINT_REPLICA = 88    # committed snapshot copied to backup sites
+    RECOVER_ACK = 89           # receipt for retried recovery control
 
     # -- security (§4 security manager)
     KEY_EXCHANGE_INIT = 90

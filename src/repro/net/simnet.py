@@ -39,6 +39,10 @@ class SimNetwork:
         self.topology = topology
         self._receivers: Dict[int, Callable[[bytes], None]] = {}
         self.stats = StatSet()
+        #: optional fault-injection controller (repro.chaos); consulted per
+        #: message when set.  The None-guarded hot path costs one attribute
+        #: read, and chaos-free runs stay bit-identical.
+        self.chaos = None
 
     # ------------------------------------------------------------------
     def attach(self, addr: int, receiver: Callable[[bytes], None]) -> None:
@@ -108,6 +112,21 @@ class SimNetwork:
                 self.stats.inc("udp_reordered")
         if cfg.jitter > 0.0:
             delay *= 1.0 + cfg.jitter * self.sim.rng.random()
+
+        if self.chaos is not None:
+            offsets = self.chaos.filter_send(src, dst)
+            if offsets is not None:
+                if not offsets:
+                    self.stats.inc("chaos_dropped")
+                    return True  # like UDP loss: the sender cannot tell
+                if len(offsets) > 1:
+                    self.stats.inc("chaos_duplicated")
+                if offsets[0] != 0.0:
+                    self.stats.inc("chaos_delayed")
+                for extra in offsets:
+                    self.sim.schedule(delay + extra, self._deliver, dst,
+                                      data)
+                return True
 
         self.sim.schedule(delay, self._deliver, dst, data)
         return True

@@ -89,15 +89,19 @@ class CpuModel:
     order; all state advances only at event boundaries.
     """
 
-    __slots__ = ("_sim", "speed", "_jobs", "_seq", "_last_update",
-                 "_completion_event", "_target_time", "busy_total",
-                 "overhead_total")
+    __slots__ = ("_sim", "speed", "slowdown", "_jobs", "_seq",
+                 "_last_update", "_completion_event", "_target_time",
+                 "busy_total", "overhead_total")
 
     def __init__(self, sim: "Any", speed: float) -> None:
         if speed <= 0:
             raise SDVMError(f"CPU speed must be positive, got {speed}")
         self._sim = sim
         self.speed = speed
+        #: transient demand multiplier (chaos slow-site faults); applied at
+        #: admission time, so jobs already running keep their old rate.
+        #: The default of 1.0 is float-exact: ``x * 1.0 == x`` bitwise.
+        self.slowdown = 1.0
         #: active jobs: [remaining_cpu_seconds, seq, fn, args, overhead]
         self._jobs: list = []
         self._seq = 0
@@ -197,6 +201,7 @@ class CpuModel:
         """Admit a job of ``seconds`` CPU time; ``fn`` fires at completion."""
         if seconds < 0:
             raise SDVMError(f"negative CPU charge {seconds}")
+        seconds *= self.slowdown
         if seconds == 0.0:
             if fn is not None:
                 self._sim.schedule(0.0, fn, *args)

@@ -52,6 +52,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "wave_abort": ("wave", "reason"),
     "recovery_begin": ("epoch", "dead"),
     "recovery_done": ("epoch",),
+    # fault injection (repro.chaos) — site is -1 (cluster-level event)
+    "chaos_fault": ("fault", "detail"),
     # messaging (message manager).  ``seq`` + the sender site identify one
     # physical message on both ends; ``cause``/``origin`` carry the causal
     # stamp assigned at send time.  Loopback (same-site) deliveries emit

@@ -1,0 +1,231 @@
+"""Tests for the deterministic chaos engine: plan schema, injection
+mechanics, invariant auditing, the regression corpus, and the CLI.
+
+The corpus plans under ``tests/chaos_corpus/`` are shrunk repros of real
+bugs the fuzzer flushed out; each must keep passing on the fixed code
+(and four of them fail on the pre-hardening crash manager — see the
+plan files' ``name`` fields for which bug each one pins down).
+"""
+
+from __future__ import annotations
+
+import glob
+import io
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    CrashFault,
+    FaultPlan,
+    InvariantChecker,
+    LinkFault,
+    PartitionFault,
+    SlowFault,
+    journal_fingerprint,
+    random_plan,
+    run_plan,
+    shrink_plan,
+    verify_determinism,
+)
+from repro.cli import main
+from repro.common.errors import SDVMError
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def corpus_plan(name):
+    return FaultPlan.load(os.path.join(CORPUS_DIR, f"{name}.json"))
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = random_plan(3)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = random_plan(4)
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_schema_is_versioned(self):
+        blob = json.loads(random_plan(1).to_json())
+        assert blob["schema"] == "sdvm-chaos/1"
+
+    def test_generator_is_deterministic(self):
+        assert random_plan(9) == random_plan(9)
+        assert random_plan(9) != random_plan(10)
+
+    def test_generator_never_kills_submit_site_or_last_survivor(self):
+        for seed in range(30):
+            plan = random_plan(seed)
+            doomed = {f.site for f in plan.faults
+                      if f.kind in ("crash", "sign_off")}
+            assert plan.submit_site not in doomed
+            assert len(doomed) < plan.nsites
+
+    def test_validate_rejects_bad_site(self):
+        plan = FaultPlan(nsites=2, faults=[CrashFault(at=1.0, site=5)])
+        with pytest.raises(SDVMError):
+            plan.validate()
+
+    def test_shrink_finds_minimal_subset(self):
+        faults = [CrashFault(at=1.0, site=1),
+                  LinkFault(start=0.5, end=0.9, drop=0.5),
+                  PartitionFault(start=0.2, end=0.3, group=(2,))]
+        plan = FaultPlan(nsites=4, faults=faults)
+
+        def still_fails(candidate):
+            # pretend the crash alone reproduces the bug
+            return any(f.kind == "crash" for f in candidate.faults)
+
+        shrunk = shrink_plan(plan, still_fails)
+        assert shrunk.faults == [CrashFault(at=1.0, site=1)]
+
+
+class TestCorpus:
+    def test_corpus_is_committed(self):
+        names = {os.path.basename(p) for p in CORPUS}
+        assert {"crash_during_wave.json", "crash_during_recovery.json",
+                "coordinator_crash.json", "partition_then_heal.json",
+                "duplicate_delivery.json",
+                "lossy_recovery.json"} <= names
+
+    @pytest.mark.parametrize(
+        "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+    def test_corpus_plan_passes(self, path):
+        result = run_plan(FaultPlan.load(path))
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_replay_is_bit_deterministic(self):
+        first, second = verify_determinism(corpus_plan("crash_during_wave"))
+        assert first and first == second
+
+    def test_lossy_recovery_exercises_retries(self):
+        """S3 regression: a total drop window over RECOVER_STATE/DONE is
+        survived only because recovery control is acked and re-sent."""
+        result = run_plan(corpus_plan("lossy_recovery"))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.cluster.network_stats().get("chaos_dropped").count > 0
+        assert result.cluster.total_stats().get("recover_retries").count > 0
+
+    def test_crash_during_recovery_queues_second_crash(self):
+        """S1 regression: the second crash lands while ``_recovering`` and
+        must be queued, then recovered serially."""
+        result = run_plan(corpus_plan("crash_during_recovery"))
+        assert result.ok, [str(v) for v in result.violations]
+        stats = result.cluster.total_stats()
+        assert stats.get("crashes_queued").count >= 1
+        assert stats.get("recoveries").count >= 2
+
+    def test_coordinator_crash_recovers_from_replica(self):
+        """S2 regression: the successor coordinator restores from its
+        replicated snapshot instead of declaring the program lost."""
+        result = run_plan(corpus_plan("coordinator_crash"))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.cluster.total_stats().get(
+            "replicas_adopted").count >= 1
+
+    def test_duplicate_delivery_does_not_double_commit(self):
+        result = run_plan(corpus_plan("duplicate_delivery"))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.cluster.network_stats().get(
+            "chaos_duplicated").count > 0
+
+
+class TestInjection:
+    def test_partition_holds_traffic_until_heal(self):
+        result = run_plan(corpus_plan("partition_then_heal"))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.cluster.network_stats().get("chaos_delayed").count > 0
+
+    def test_slowdown_stretches_the_run(self):
+        fast = run_plan(FaultPlan(seed=11, nsites=2))
+        slow = run_plan(FaultPlan(seed=11, nsites=2, faults=[
+            SlowFault(start=0.1, end=60.0, site=1, factor=8.0)]))
+        assert fast.ok and slow.ok
+        assert (slow.cluster.handles[0].duration
+                > fast.cluster.handles[0].duration)
+
+    def test_chaos_off_network_hook_stays_cold(self):
+        """Plans without link faults must not touch the network hot path."""
+        result = run_plan(FaultPlan(seed=12, nsites=2, faults=[
+            CrashFault(at=0.4, site=1)]))
+        assert result.ok
+        assert result.cluster.network.chaos is None
+
+    def test_faults_appear_in_the_journal(self):
+        result = run_plan(corpus_plan("crash_during_wave"))
+        kinds = [e.fields[0] for e in result.cluster.tracer.events
+                 if e.kind == "chaos_fault"]
+        assert "crash" in kinds
+
+    def test_controller_rejects_site_count_mismatch(self):
+        from repro.chaos import chaos_config
+        from repro.site.simcluster import SimCluster
+        plan = FaultPlan(nsites=4)
+        cluster = SimCluster(nsites=2, config=chaos_config(plan))
+        with pytest.raises(SDVMError):
+            ChaosController(cluster, plan)
+
+    def test_double_install_rejected(self):
+        from repro.chaos import chaos_config
+        from repro.site.simcluster import SimCluster
+        plan = FaultPlan(seed=13, nsites=2)
+        cluster = SimCluster(nsites=2, config=chaos_config(plan))
+        controller = cluster.apply_chaos(plan)
+        with pytest.raises(SDVMError):
+            controller.install()
+
+
+class TestInvariantChecker:
+    def test_clean_run_has_no_violations(self):
+        result = run_plan(FaultPlan(seed=14, nsites=2))
+        checker = InvariantChecker(result.cluster,
+                                   expect_complete=True)
+        assert checker.check() == []
+
+    def test_fingerprint_requires_tracer(self):
+        assert journal_fingerprint(None) == ""
+
+
+class TestChaosCli:
+    def test_run_subcommand(self):
+        out = io.StringIO()
+        path = os.path.join(CORPUS_DIR, "crash_during_wave.json")
+        assert main(["chaos", "run", path], out=out) == 0
+        assert "PASS" in out.getvalue()
+
+    def test_run_twice_reports_determinism(self):
+        out = io.StringIO()
+        path = os.path.join(CORPUS_DIR, "partition_then_heal.json")
+        assert main(["chaos", "run", path, "--twice"], out=out) == 0
+        assert "deterministic" in out.getvalue()
+
+    def test_corpus_subcommand(self):
+        out = io.StringIO()
+        assert main(["chaos", "corpus", "--dir", CORPUS_DIR],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "lossy_recovery" in text and "FAIL" not in text
+
+    def test_fuzz_subcommand_green_seed(self):
+        out = io.StringIO()
+        assert main(["chaos", "fuzz", "--seeds", "1", "1"], out=out) == 0
+        assert "ok" in out.getvalue()
+
+    def test_fuzz_saves_failing_plan(self, tmp_path):
+        """An unsurvivable plan (every site crashes) must be reported,
+        shrunk, and written out for triage."""
+        doomed = FaultPlan(seed=1, nsites=2, faults=[
+            CrashFault(at=0.4, site=0), CrashFault(at=0.45, site=1)])
+        plan_path = str(tmp_path / "doomed.json")
+        doomed.save(plan_path)
+        out = io.StringIO()
+        assert main(["chaos", "run", plan_path], out=out) == 1
+        assert "FAIL" in out.getvalue()

@@ -200,3 +200,83 @@ class TestRecovery:
         result = handle.result
         assert result == first_n_primes(60)
         assert len(result) == len(set(result))
+
+
+class TestHardening:
+    """Regressions for the crash-recovery hardening sweep (found and
+    pinned down by the chaos fuzzer; the corpus plans in
+    ``tests/chaos_corpus/`` replay the same bugs end to end)."""
+
+    def test_second_crash_during_recovery_is_queued_and_drained(self):
+        """S1: a crash detected while a recovery is in flight used to
+        start an overlapping recovery that clobbered the first one's
+        state distribution.  It must be queued and handled serially."""
+        cluster = SimCluster(nsites=4, config=config(ckpt_interval=0.1))
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 2000.0, 20000.0))
+        # both failures land inside one liveness check tick, so the
+        # second is observed while the first recovery is still running
+        cluster.crash_site(3, at=0.5)
+        cluster.crash_site(2, at=0.5001)
+        cluster.run(progress_timeout=180.0)
+        assert handle.result == first_n_primes(40)
+        cm = cluster.sites[0].crash_manager
+        assert cm.stats.get("crashes_queued").count >= 1
+        assert cm.stats.get("recoveries").count >= 2
+        assert not cm._recovering and not cm._crash_queue
+
+    def test_coordinator_crash_successor_recovers_from_replica(self):
+        """S2: when the checkpoint coordinator itself dies, the successor
+        used to find no committed snapshot and declare the program lost.
+        Snapshot replication gives it the state to roll back from."""
+        cluster = SimCluster(nsites=3, config=config(ckpt_interval=0.1))
+        handle = cluster.submit(build_primes_program(),
+                                args=(40, 6, 800.0, 8000.0),
+                                site_index=1)
+        cluster.sim.run(until=0.45)
+        assert cluster.sites[0].crash_manager.committed_wave >= 1
+        cluster.sites[0].crash()
+        cluster.run(progress_timeout=180.0)
+        assert handle.result == first_n_primes(40)
+        successor = cluster.sites[1].crash_manager
+        assert successor.stats.get("replicas_adopted").count >= 1
+        assert successor.stats.get("recoveries_completed").count >= 1
+
+    def test_duplicate_state_after_commit_does_not_recommit(self):
+        """A re-delivered CHECKPOINT_STATE must not re-enter the commit
+        path (the chaos duplicate_delivery plan caught a double commit
+        of the same wave)."""
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.submit(build_primes_program(), args=(40, 6, 800.0, 8000.0))
+        cluster.sim.run(until=0.35)
+        cm = cluster.sites[0].crash_manager
+        assert cm.committed_wave >= 1
+        committed_before = cm.stats.get("checkpoints_committed").count
+        wave_before = cm.committed_wave
+        cm._on_state(cm._wave, cluster.sites[1].site_id, {"dup": True})
+        assert cm.stats.get("checkpoints_committed").count == committed_before
+        assert cm.committed_wave == wave_before
+
+    def test_duplicate_ack_after_drain_is_ignored(self):
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.submit(build_primes_program(), args=(40, 6, 800.0, 8000.0))
+        cluster.sim.run(until=0.35)
+        cm = cluster.sites[0].crash_manager
+        assert cm.committed_wave >= 1
+        states_before = set(cm._states_pending)
+        cm._on_ack(cm._wave, cluster.sites[1].site_id)
+        assert set(cm._states_pending) == states_before
+
+    def test_stale_replica_from_old_coordinator_is_ignored(self):
+        """After succession the old coordinator's lower-numbered replicas
+        must not roll the successor's committed snapshot backwards."""
+        cluster = SimCluster(nsites=3, config=config())
+        cluster.submit(build_primes_program(), args=(40, 6, 800.0, 8000.0))
+        cluster.sim.run(until=0.35)
+        backup = cluster.sites[1].crash_manager
+        assert backup.committed_wave >= 1
+        wave_before = backup.committed_wave
+        src = backup.committed_src
+        backup._on_replica(wave_before - 1, [[0, {"stale": True}]], src)
+        assert backup.committed_wave == wave_before
+        assert backup.stats.get("stale_replicas_ignored").count >= 1
