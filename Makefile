@@ -1,11 +1,13 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke
+.PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke \
+        bench-help-policies
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
-# profiler smoke + chaos smoke
-verify: test smoke-trace bench-gate profile-smoke chaos-smoke
+# profiler smoke + chaos smoke + work-distribution policy matrix smoke
+verify: test smoke-trace bench-gate profile-smoke chaos-smoke \
+        bench-help-policies
 
 test:
 	$(PY) -m pytest -q
@@ -33,3 +35,8 @@ profile-smoke:
 chaos-smoke:
 	$(PY) -m repro.cli chaos corpus
 	$(PY) -m repro.cli chaos fuzz --seeds 1 6
+
+# CI smoke for the informed work-distribution layer: the gossip x steal
+# batching x push policy matrix, each cell audited by the invariant checker
+bench-help-policies:
+	$(PY) benchmarks/bench_help_policies.py --smoke

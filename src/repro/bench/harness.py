@@ -23,7 +23,15 @@ TRACE_DIR = os.environ.get("SDVM_TRACE_DIR", "")
 def bench_config(**overrides) -> SDVMConfig:
     """The configuration every benchmark uses unless it sweeps a knob."""
     base = SDVMConfig(
-        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+        # gossip_interval: the benchmarks measure work distribution, so
+        # the low-rate load heartbeat is on (the global default keeps it
+        # off to preserve quiescence for the power/sleep experiments)
+        # push_min_queue 0: the fan-out producer (the program's home)
+        # sheds every surplus frame to a known-idle peer the moment its
+        # own lanes are full, instead of waiting for thieves to beg
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0,
+                                    gossip_interval=1e-3,
+                                    push_min_queue=0),
         trace=bool(TRACE_DIR))
     return base.with_(**overrides) if overrides else base
 

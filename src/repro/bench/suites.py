@@ -64,6 +64,10 @@ def primes_speedup_suite() -> SuiteResult:
         "s8_messages_sent": 0.15,
         "s8_bytes_sent": 0.15,
         "s8_steals_in": _RATE_TOL,
+        "s8_steal_grants": _RATE_TOL,
+        "s8_help_timeouts": _RATE_TOL,
+        "s8_frames_pushed": _RATE_TOL,
+        "s8_gossip_sent": _RATE_TOL,
     }
     for name in metrics:
         if name.startswith("s8_blame_"):

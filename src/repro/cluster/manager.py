@@ -141,20 +141,69 @@ class ClusterManager(Manager):
 
     def pick_help_target(self, exclude: Iterable[int] = ()) -> Optional[int]:
         """Choose the peer most likely to have spare work (§4: "based on the
-        data currently known about the other sites")."""
+        data currently known about the other sites").
+
+        Selection order: a peer with a *fresh* positive stealable-queue
+        figure (deepest queue wins), else a peer whose figures are stale or
+        never heard (probing refreshes the view), else a fresh peer whose
+        total load suggests work may surface soon.  When every fresh peer
+        is known-empty, returns None so the scheduler backs off instead of
+        paying a round trip for a guaranteed CANT_HELP.
+        """
         excluded = set(exclude)
         candidates = [r for r in self.alive_peers()
                       if r.logical not in excluded]
         if not candidates:
             return None
-        best_load = max(r.load for r in candidates)
-        top = [r for r in candidates if r.load >= best_load]
+        now = self.kernel.now
+        staleness = self.config.scheduling.gossip_staleness
+        fresh = [r for r in candidates
+                 if r.load_at >= 0 and now - r.load_at <= staleness]
+        min_queue = self.config.scheduling.steal_min_queue
+        with_work = [r for r in fresh if r.queue >= min_queue]
+        if with_work:
+            best = max(r.queue for r in with_work)
+            top = [r for r in with_work if r.queue >= best]
+            return self.kernel.rng.choice(top).logical
+        unknown = [r for r in candidates if r not in fresh]
+        if unknown:
+            return self.kernel.rng.choice(unknown).logical
+        busy = [r for r in fresh if r.load >= 2]
+        if busy:
+            best = max(r.load for r in busy)
+            top = [r for r in busy if r.load >= best]
+            return self.kernel.rng.choice(top).logical
+        return None
+
+    def pick_push_target(self) -> Optional[int]:
+        """A peer known (freshly) to sit idle — the proactive-push target."""
+        now = self.kernel.now
+        staleness = self.config.scheduling.gossip_staleness
+        idle = [r for r in self.alive_peers()
+                if r.load_at >= 0 and now - r.load_at <= staleness
+                and r.queue <= 0 and r.load < 1]
+        if not idle:
+            return None
+        best = max(r.load_at for r in idle)
+        top = [r for r in idle if r.load_at >= best]
         return self.kernel.rng.choice(top).logical
 
-    def note_load(self, logical: int, load: float) -> None:
+    def note_pushed(self, logical: int, nframes: int) -> None:
+        """Account frames just pushed at ``logical`` so consecutive pushes
+        spread over different idle peers instead of dogpiling one."""
+        record = self.sites.get(logical)
+        if record is not None:
+            record.queue += nframes
+            record.load += nframes
+
+    def note_load(self, logical: int, load: float,
+                  queue: Optional[float] = None) -> None:
         record = self.sites.get(logical)
         if record is not None:
             record.load = load
+            if queue is not None and queue >= 0:
+                record.queue = queue
+            record.load_at = self.kernel.now
             record.last_seen = self.kernel.now
 
     def observe(self, logical: int) -> None:
@@ -169,6 +218,7 @@ class ClusterManager(Manager):
         if record is None:
             raise ClusterError("site has no local record yet")
         record.load = self.site.site_manager.current_load()
+        record.queue = float(self.site.scheduling_manager.stealable_depth())
         return record.to_wire()
 
     def learn_record(self, wire: dict) -> None:
@@ -439,18 +489,20 @@ class ClusterManager(Manager):
         if not self.site.running:
             return
         load = self.site.site_manager.current_load()
+        queue = float(self.site.scheduling_manager.stealable_depth())
         for peer in self.alive_peers():
             self.site.message_manager.send(SDMessage(
                 type=MsgType.HEARTBEAT,
                 src_site=self.local_id, src_manager=ManagerId.CLUSTER,
                 dst_site=peer.logical, dst_manager=ManagerId.CLUSTER,
-                payload={"load": load},
+                payload={"load": load, "queue": queue},
             ))
         self._check_liveness()
         self._schedule_heartbeat()
 
     def _on_heartbeat(self, msg: SDMessage) -> None:
-        self.note_load(msg.src_site, msg.payload.get("load", 0.0))
+        self.note_load(msg.src_site, msg.payload.get("load", 0.0),
+                       queue=msg.payload.get("queue"))
 
     def _check_liveness(self) -> None:
         timeout = self.config.cluster.heartbeat_timeout

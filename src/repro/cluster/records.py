@@ -26,6 +26,12 @@ class SiteRecord:
     reliable: bool = True
     #: last load figure heard from this site (executable+ready+in-flight)
     load: float = 0.0
+    #: last *stealable* queue depth heard (scheduler executable+ready) —
+    #: what victim selection and proactive push actually key on
+    queue: float = 0.0
+    #: local time the load/queue figures were last updated (-1 = never
+    #: heard; not sent on the wire — clocks are only comparable locally)
+    load_at: float = -1.0
     #: when we last heard anything from it (heartbeats or piggybacked)
     last_seen: float = 0.0
     #: False once the site crashed or signed off
@@ -45,6 +51,7 @@ class SiteRecord:
             "code_distribution": self.code_distribution,
             "reliable": self.reliable,
             "load": self.load,
+            "queue": self.queue,
             "alive": self.alive,
             "left": self.left,
             "heir": -1 if self.heir is None else self.heir,
@@ -62,6 +69,7 @@ class SiteRecord:
             code_distribution=data.get("code_distribution", False),
             reliable=data.get("reliable", True),
             load=data.get("load", 0.0),
+            queue=data.get("queue", 0.0),
             alive=data.get("alive", True),
             left=data.get("left", False),
             heir=None if heir < 0 else heir,

@@ -154,12 +154,54 @@ class SchedulingConfig:
     use_hints: bool = True
     #: refuse to give away frames when fewer than this many remain locally
     keep_local_min: int = 1
+    #: max frames handed over per HELP_REPLY or proactive push (the
+    #: steal-half batch is capped here)
+    steal_batch_max: int = 4
+    #: period of the low-rate LOAD_REPORT gossip heartbeat (0 disables it;
+    #: the load/queue figures piggybacked on regular traffic are always on)
+    gossip_interval: float = 0.0
+    #: max age of a peer's load/queue figure before it stops counting as
+    #: fresh for victim selection and push targeting
+    gossip_staleness: float = 5e-3
+    #: proactively push surplus executable frames toward known-idle peers
+    push_enabled: bool = True
+    #: only push while more than this many frames sit in the executable queue
+    push_min_queue: int = 1
+    #: fetch a program's microthread code when the program is first learned
+    #: (CDAG spine threads first) instead of on first frame arrival
+    prefetch_code: bool = True
+    #: only target a victim whose fresh queue figure is at least this deep;
+    #: a site advertising a single spare frame will almost always run it
+    #: itself before a help request lands, so begging it mostly buys a
+    #: CANT_HELP (the thundering-herd dampener for victim selection,
+    #: gossip wake-ups, and help-request forwarding)
+    steal_min_queue: int = 2
+    #: how long an *active* victim (executions in flight) may hold an
+    #: unhelpable help request before refusing: production is bursty, so
+    #: a frame surplus often appears within an execution time and the
+    #: parked thief is granted straight from the fresh enqueue — instead
+    #: of a CANT_HELP now plus the thief's retry round trip later
+    #: (0 disables parking and refuses immediately; must stay well under
+    #: the thief's request timeout, 4x help_retry_interval min 50ms)
+    help_park_max: float = 4e-3
 
     def __post_init__(self) -> None:
         if self.help_fanout < 1:
             raise ConfigError("help_fanout must be >= 1")
         if self.ready_target < 1:
             raise ConfigError("ready_target must be >= 1")
+        if self.steal_batch_max < 1:
+            raise ConfigError("steal_batch_max must be >= 1")
+        if self.gossip_interval < 0:
+            raise ConfigError("gossip_interval must be >= 0")
+        if self.gossip_staleness <= 0:
+            raise ConfigError("gossip_staleness must be positive")
+        if self.push_min_queue < 0:
+            raise ConfigError("push_min_queue must be >= 0")
+        if self.steal_min_queue < 1:
+            raise ConfigError("steal_min_queue must be >= 1")
+        if self.help_park_max < 0:
+            raise ConfigError("help_park_max must be >= 0")
 
 
 @dataclass(frozen=True, slots=True)

@@ -87,7 +87,8 @@ class AttractionMemory(Manager):
             src_site=self.local_id, src_manager=ManagerId.ATTRACTION_MEMORY,
             dst_site=target, dst_manager=ManagerId.ATTRACTION_MEMORY,
             program=program,
-            payload={"addr": addr, "slot": slot, "value": value},
+            payload={"addr": addr, "slot": slot, "value": value,
+                     "epoch": self.site.epoch},
         ))
         if sent:
             self.stats.inc("results_sent")
@@ -295,6 +296,13 @@ class AttractionMemory(Manager):
     def handle(self, msg: SDMessage) -> None:
         if msg.type == MsgType.APPLY_RESULT:
             payload = msg.payload
+            if self._stale_epoch(payload):
+                # in-flight result from a rolled-back epoch: the replay
+                # re-produces it, and applying the stale copy would
+                # contaminate a restored frame with pre-recovery state
+                # (e.g. frame addresses that will never be allocated again)
+                self.stats.inc("stale_results_dropped")
+                return
             self._apply_local(payload["addr"], payload["slot"],
                               payload["value"], msg.program)
         elif msg.type == MsgType.FRAME_TRANSFER:
@@ -323,17 +331,36 @@ class AttractionMemory(Manager):
         else:
             super().handle(msg)
 
+    def _stale_epoch(self, payload: dict) -> bool:
+        """True when a dataflow payload was stamped before the last rollback
+        recovery.  Stale deliveries are dropped — the checkpoint already
+        restored their content, and the replay re-sends anything in flight.
+        Unstamped payloads (relocation, pre-epoch senders) pass through.
+        """
+        return payload.get("epoch", self.site.epoch) < self.site.epoch
+
     def _on_frame_transfer(self, msg: SDMessage) -> None:
+        if self._stale_epoch(msg.payload):
+            self.stats.inc("stale_frames_dropped")
+            return
+        for info_wire in msg.payload.get("program_infos", ()):
+            self.site.program_manager.learn_program_wire(info_wire)
         info_wire = msg.payload.get("program_info")
         if info_wire is not None:
             self.site.program_manager.learn_program_wire(info_wire)
-        frame = Microframe.from_wire(msg.payload["frame"])
-        self.stats.inc("frames_adopted")
+        # proactive pushes batch several frames into one transfer;
+        # relocation (sign-off) still sends one frame per message
+        wires = msg.payload.get("frames")
+        if wires is None:
+            wires = [msg.payload["frame"]]
         tr = self.tracer
-        if tr is not None:
-            tr.emit(self.kernel.now, self.local_id, "frame_adopted",
-                    frame.frame_id.pack(), msg.src_site)
-        self.register_frame(frame)
+        for wire in wires:
+            frame = Microframe.from_wire(wire)
+            self.stats.inc("frames_adopted")
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "frame_adopted",
+                        frame.frame_id.pack(), msg.src_site)
+            self.register_frame(frame)
 
     def _on_mem_read(self, msg: SDMessage) -> None:
         addr = msg.payload["addr"]

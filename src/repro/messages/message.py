@@ -124,6 +124,10 @@ class SDMessage:
     #: managers keep fresh "statistical data about e. g. the other sites'
     #: load" (§4) without dedicated traffic.  -1 = not supplied.
     src_load: float = -1.0
+    #: sender's *stealable* queue depth (executable+ready frames), also
+    #: piggybacked on every message — the scheduler's victim selection and
+    #: proactive push run off this figure.  -1 = not supplied.
+    src_queue: float = -1.0
     #: causal context, stamped by the sending message manager when tracing
     #: is enabled: ``origin_site`` is the site where this causal chain was
     #: rooted, ``cause_id`` the packed node id of the event that caused the
@@ -163,6 +167,7 @@ class SDMessage:
                 self.seq,
                 self.reply_to,
                 self.src_load,
+                self.src_queue,
                 _STAMP.pack(self.cause_id + 1, self.origin_site),
                 self.payload,
             ))
@@ -171,10 +176,10 @@ class SDMessage:
     @classmethod
     def decode(cls, data: bytes) -> "SDMessage":
         obj = loads(data)
-        if not isinstance(obj, tuple) or len(obj) != 11:
+        if not isinstance(obj, tuple) or len(obj) != 12:
             raise SerializationError("malformed SDMessage envelope")
         (mtype, src_site, src_mgr, dst_site, dst_mgr,
-         program, seq, reply_to, src_load, stamp, payload) = obj
+         program, seq, reply_to, src_load, src_queue, stamp, payload) = obj
         if not isinstance(stamp, bytes) or len(stamp) != _STAMP.size:
             raise SerializationError("malformed SDMessage causal stamp")
         cause_plus_one, origin_site = _STAMP.unpack(stamp)
@@ -203,6 +208,7 @@ class SDMessage:
         msg.seq = seq
         msg.reply_to = reply_to
         msg.src_load = src_load
+        msg.src_queue = src_queue
         msg.origin_site = origin_site
         msg.cause_id = cause_id
         msg._wire = None

@@ -9,8 +9,20 @@ from repro.common.ids import GlobalAddress, ManagerId
 from repro.core.frames import FrameState, Microframe
 from repro.core.threads import CompiledMicrothread
 from repro.messages import MsgType, SDMessage, make_reply
-from repro.sched.policies import pop_frame, take_for_help
+from repro.sched.policies import (pop_frame, take_batch_for_help,
+                                  take_push_batch)
 from repro.site.manager_base import Manager
+
+
+class _HelpRequest:
+    """Bookkeeping for one in-flight help request."""
+
+    __slots__ = ("target", "prefetch", "sent_at")
+
+    def __init__(self, target: int, prefetch: bool, sent_at: float) -> None:
+        self.target = target
+        self.prefetch = prefetch
+        self.sent_at = sent_at
 
 
 class SchedulingManager(Manager):
@@ -27,16 +39,24 @@ class SchedulingManager(Manager):
         self._pending_code: Dict[GlobalAddress, Microframe] = {}
         #: processing-manager slots waiting for work
         self._pm_hungry = 0
-        #: one help request outstanding at a time
-        self._help_outstanding = False
+        #: in-flight help requests, keyed by message seq — the live-request
+        #: fence: only a reply matching one of these may reset backoff and
+        #: cooldown state (late replies already fed the failure path)
+        self._inflight_helps: Dict[int, _HelpRequest] = {}
         self._help_backoff = 1.0
         self._help_timer = None
-        #: peers that recently replied CANT_HELP (logical id -> until time)
+        #: peers that recently refused/timed out (logical id -> until time)
         self._cooldown: Dict[int, float] = {}
+        #: help requests held for a deferred grant (thief's request seq ->
+        #: (message, expiry timer)) — insertion order is grant order
+        self._parked_helps: Dict[int, Tuple[SDMessage, object]] = {}
         #: per-frame code-fetch retry budget
         self._code_retries: Dict[GlobalAddress, int] = {}
-        #: send time of the outstanding help request (tail latency stats)
-        self._help_sent_at = -1.0
+        #: low-rate LOAD_REPORT gossip heartbeat
+        self._gossip_timer = None
+        self._gossip_cursor = 0
+        #: guards against pushing frames we are adopting right now
+        self._adopting = False
 
     # ------------------------------------------------------------------
     # intake
@@ -62,6 +82,19 @@ class SchedulingManager(Manager):
             tr.emit(self.kernel.now, self.local_id, "frame_enqueued",
                     frame.frame_id.pack(), frame.program)
         self._fill_ready()
+        if not self._adopting:
+            # a frame adopted from a steal must not be re-granted to a
+            # parked thief in the same breath: with many starved sites
+            # that relays frames around the cluster without ever
+            # executing them, and the parameter routing behind each hop
+            # is what breaks when a frame's home site dies mid-chain
+            self._serve_parked_helps()
+        self._maybe_push()
+
+    def stealable_depth(self) -> int:
+        """Frames this site could hand to a thief right now (piggybacked on
+        every outgoing message as the gossip load view's queue figure)."""
+        return len(self.executable) + len(self.ready)
 
     # ------------------------------------------------------------------
     # executable -> ready (code fetch)
@@ -155,12 +188,18 @@ class SchedulingManager(Manager):
     def _maybe_help(self) -> None:
         if self.site.paused or self.site.sleeping:
             return
-        if (self._help_outstanding
-                or self.ready
-                or self.executable
-                or self._pending_code):
+        if self.ready or self.executable or self._pending_code:
             return
-        if self._pm_hungry == 0:
+        idle = self._pm_hungry > 0
+        if self._inflight_helps:
+            if not idle:
+                return
+            # a prefetch steal in flight must not gag a genuinely idle
+            # site for a full timeout: escalate once with a real request
+            if any(not req.prefetch
+                   for req in self._inflight_helps.values()):
+                return
+        elif not idle:
             # not idle — but optionally keep one steal in flight so the
             # next frame is local by the time the current one completes
             if not (self.config.scheduling.prefetch_steal
@@ -168,86 +207,154 @@ class SchedulingManager(Manager):
                 return
         if not self.site.program_manager.has_active_programs():
             return
-        self._send_help()
+        self._send_help(prefetch=not idle)
 
-    def _send_help(self, exclude: Optional[Set[int]] = None) -> None:
+    def _steal_want(self) -> int:
+        """Thief capacity advertised on a help request: how many frames a
+        steal-half reply may batch for us."""
+        cfg = self.config.scheduling
+        pm = self.site.processing_manager
+        free = max(0, pm.max_parallel - pm.in_flight)
+        return max(1, min(cfg.steal_batch_max, free + cfg.ready_target))
+
+    def _send_help(self, prefetch: bool = False,
+                   exclude: Optional[Set[int]] = None) -> None:
         now = self.kernel.now
+        cfg = self.config.scheduling
         excluded = set(exclude or ())
+        excluded.update(req.target for req in self._inflight_helps.values())
         excluded.update(s for s, until in self._cooldown.items()
                         if until > now)
-        target = self.site.cluster_manager.pick_help_target(excluded)
-        if target is None:
+        cm = self.site.cluster_manager
+        rounds = 1 if prefetch else cfg.help_fanout
+        sent = 0
+        for _ in range(rounds):
+            target = cm.pick_help_target(excluded)
+            if target is None:
+                break
+            excluded.add(target)
+            msg = SDMessage(
+                type=MsgType.HELP_REQUEST,
+                src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
+                dst_site=target, dst_manager=ManagerId.SCHEDULING,
+                payload={
+                    "record": cm.local_record_wire(),
+                    "load": self.site.site_manager.current_load(),
+                    "want": self._steal_want(),
+                    "prefetch": prefetch,
+                },
+            )
+            self.stats.inc("help_sent")
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(now, self.local_id, "help_request", target)
+            ok = self.site.message_manager.request(
+                msg, self._on_help_reply,
+                timeout=max(4 * cfg.help_retry_interval, 0.05),
+                on_timeout=lambda m=msg: self._help_timed_out(m.seq))
+            if not ok:
+                self._help_failed(target)
+                continue
+            self._inflight_helps[msg.seq] = _HelpRequest(target, prefetch,
+                                                         now)
+            sent += 1
+        if sent == 0:
             self._schedule_retry()
+
+    def _help_timed_out(self, seq: int) -> None:
+        request = self._inflight_helps.pop(seq, None)
+        if request is None:
             return
-        self._help_outstanding = True
-        msg = SDMessage(
-            type=MsgType.HELP_REQUEST,
-            src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
-            dst_site=target, dst_manager=ManagerId.SCHEDULING,
-            payload={
-                "record": self.site.cluster_manager.local_record_wire(),
-                "load": self.site.site_manager.current_load(),
-            },
-        )
-        self.stats.inc("help_sent")
-        self._help_sent_at = now
-        tr = self.tracer
-        if tr is not None:
-            tr.emit(now, self.local_id, "help_request", target)
-        ok = self.site.message_manager.request(
-            msg, self._on_help_reply,
-            timeout=max(4 * self.config.scheduling.help_retry_interval, 0.05),
-            on_timeout=lambda: self._help_failed(target))
-        if not ok:
-            self._help_failed(target)
+        self.stats.inc("help_timeouts")
+        self._help_failed(request.target)
 
     def _help_failed(self, target: int) -> None:
-        self._help_outstanding = False
         self._cooldown[target] = (self.kernel.now
                                   + self._help_backoff
                                   * self.config.scheduling.help_retry_interval)
         self._schedule_retry()
 
     def _on_help_reply(self, msg: SDMessage) -> None:
-        self._help_outstanding = False
-        if self._help_sent_at >= 0:
+        request = self._inflight_helps.pop(msg.reply_to, None)
+        if request is not None:
             self.stats.observe("help_latency",
-                               self.kernel.now - self._help_sent_at)
-            self._help_sent_at = -1.0
-        self.site.cluster_manager.note_load(msg.src_site,
-                                            msg.payload.get("load", 0.0))
+                               self.kernel.now - request.sent_at)
+        self.site.cluster_manager.note_load(
+            msg.src_site, msg.payload.get("load", 0.0),
+            queue=msg.payload.get("queue", msg.src_queue))
         if msg.type == MsgType.CANT_HELP:
             self.stats.inc("cant_help_received")
             self._help_failed(msg.src_site)
+            # the refusal taught us only that *this* victim was drained,
+            # not that the cluster is: an idle thief whose load view
+            # still shows a fresh deep queue elsewhere re-targets it now
+            # instead of sitting out the backoff delay.  Self-limiting:
+            # the refuser just went on cooldown and its piggybacked
+            # queue figure stops it counting as deep.
+            if self._pm_hungry and not self._inflight_helps:
+                cfg = self.config.scheduling
+                now = self.kernel.now
+                cm = self.site.cluster_manager
+                if any(r.alive and r.logical != self.local_id
+                       and now - r.load_at <= cfg.gossip_staleness
+                       and r.queue >= cfg.steal_min_queue
+                       and self._cooldown.get(r.logical, 0.0) <= now
+                       for r in cm.sites.values()):
+                    if self._help_timer is not None:
+                        self.kernel.cancel(self._help_timer)
+                        self._help_timer = None
+                    self._help_backoff = 1.0
+                    self._maybe_help()
             return
         if msg.type != MsgType.HELP_REPLY:
             self.log("unexpected help reply %s", msg.type.name)
             return
-        self._cooldown.clear()
-        self._adopt_steal(msg)
+        self.stats.inc("steal_grants")
+        self._adopt_steal(msg, live=request is not None)
 
-    def _adopt_steal(self, msg: SDMessage) -> None:
-        """Account for one stolen frame arriving via HELP_REPLY.
+    def _adopt_steal(self, msg: SDMessage, live: bool) -> None:
+        """Account for stolen frames arriving via (batched) HELP_REPLY.
 
         Shared by the correlated reply path and the late-reply path in
-        :meth:`handle`, so both count ``steals_in``, journal the steal,
-        reset the help backoff, and take the victim off cooldown — a late
-        reply is still a successful steal.
+        :meth:`handle`, so both count ``steals_in``, journal the steals,
+        and enqueue every frame.  Only a *live* reply — one correlated to
+        a request still in flight — may reset the help backoff and take
+        the victim off cooldown: a late reply's request already timed out
+        and fed the congestion state, and wiping that state here would
+        erase backoff mid-congestion.
         """
+        if msg.payload.get("epoch", self.site.epoch) < self.site.epoch:
+            # the victim granted these frames before the last rollback
+            # recovery: the checkpoint restored its own copies, so adopting
+            # this stale batch would duplicate pre-recovery work — and a
+            # stale frame's parameters may reference rolled-back addresses
+            self.stats.inc("stale_steals_dropped")
+            return
+        for info_wire in msg.payload.get("program_infos", ()):
+            self.site.program_manager.learn_program_wire(info_wire)
         info_wire = msg.payload.get("program_info")
         if info_wire is not None:
             self.site.program_manager.learn_program_wire(info_wire)
-        frame = Microframe.from_wire(msg.payload["frame"])
-        self.stats.inc("steals_in")
-        self.site.journal_event("steal_in", victim=msg.src_site,
-                                frame=frame.frame_id.pack())
+        wires = msg.payload.get("frames")
+        if wires is None:
+            wires = [msg.payload["frame"]]
         tr = self.tracer
-        if tr is not None:
-            tr.emit(self.kernel.now, self.local_id, "steal_in",
-                    msg.src_site, frame.frame_id.pack())
-        self._help_backoff = 1.0
-        self._cooldown.pop(msg.src_site, None)
-        self.enqueue_executable(frame)
+        self._adopting = True
+        try:
+            for wire in wires:
+                frame = Microframe.from_wire(wire)
+                self.stats.inc("steals_in")
+                self.site.journal_event("steal_in", victim=msg.src_site,
+                                        frame=frame.frame_id.pack())
+                if tr is not None:
+                    tr.emit(self.kernel.now, self.local_id, "steal_in",
+                            msg.src_site, frame.frame_id.pack())
+                self.enqueue_executable(frame)
+        finally:
+            self._adopting = False
+        if live:
+            self._help_backoff = 1.0
+            self._cooldown.pop(msg.src_site, None)
 
     def _schedule_retry(self) -> None:
         if self._help_timer is not None:
@@ -256,7 +363,11 @@ class SchedulingManager(Manager):
             return
         delay = (self.config.scheduling.help_retry_interval
                  * self._help_backoff)
-        self._help_backoff = min(self._help_backoff * 1.5, 8.0)
+        # the ceiling can sit well above the old 8x now that gossip
+        # wake-ups re-arm a backed-off thief the moment any peer's queue
+        # deepens: blind retries into a drained cluster only pad the
+        # CANT_HELP count, they don't discover work faster than gossip
+        self._help_backoff = min(self._help_backoff * 1.5, 20.0)
         self._help_timer = self.kernel.call_later(delay, self._retry_tick)
 
     def _retry_tick(self) -> None:
@@ -286,60 +397,319 @@ class SchedulingManager(Manager):
             self._on_help_request(msg)
         elif msg.type in (MsgType.HELP_REPLY, MsgType.CANT_HELP):
             # late reply whose request timed out: a HELP_REPLY still carries
-            # a stolen frame, so run it through the same accounting as the
-            # correlated path (stats, journal, backoff and cooldown reset) —
-            # without touching ``_help_outstanding``, which now belongs to a
-            # newer request, and without clearing other sites' cooldowns
+            # stolen frames, so adopt and count them — but the request
+            # already fed the backoff/cooldown failure path when it timed
+            # out, so the reply must NOT reset that state (live=False)
             if msg.type == MsgType.HELP_REPLY:
-                self._adopt_steal(msg)
+                self.stats.inc("late_steal_grants")
+                self._adopt_steal(msg, live=False)
+        elif msg.type == MsgType.LOAD_REPORT:
+            self._on_load_report(msg)
         else:
             super().handle(msg)
+
+    def _reply_help(self, msg: SDMessage, mtype: MsgType,
+                    payload: dict) -> bool:
+        """Answer a help request at its *originating* thief — which differs
+        from ``msg.src_site`` when an empty victim forwarded the request."""
+        return self.site.message_manager.send(SDMessage(
+            type=mtype,
+            src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=int(msg.payload.get("thief", msg.src_site)),
+            dst_manager=ManagerId.SCHEDULING,
+            payload=payload,
+            reply_to=int(msg.payload.get("rseq", msg.seq))))
+
+    def _thief_alive(self, msg: SDMessage) -> bool:
+        record = self.site.cluster_manager.sites.get(
+            int(msg.payload.get("thief", msg.src_site)))
+        return record is not None and record.alive
+
+    def _cant_help(self, msg: SDMessage, my_load: float) -> None:
+        self._reply_help(msg, MsgType.CANT_HELP, {"load": my_load})
+        self.stats.inc("cant_help_sent")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "cant_help",
+                    int(msg.payload.get("thief", msg.src_site)))
+
+    def _forward_help(self, msg: SDMessage) -> bool:
+        """Refer an unhelpable thief onward instead of bouncing it.
+
+        A victim with nothing to spare often *knows* (from fresh gossip)
+        a peer that does have stealable work — forwarding the request
+        there turns a guaranteed CANT_HELP plus a thief-side retry round
+        trip into a single extra hop.  The originating thief and its
+        request seq ride in the payload so the eventual holder's reply
+        goes straight back to the thief; a hop budget stops a drained
+        cluster from playing pass-the-parcel.
+        """
+        hops = int(msg.payload.get("hops", 0))
+        if hops >= 2:
+            return False
+        thief = int(msg.payload.get("thief", msg.src_site))
+        now = self.kernel.now
+        staleness = self.config.scheduling.gossip_staleness
+        best = None
+        for r in self.site.cluster_manager.alive_peers():
+            if r.logical in (thief, msg.src_site):
+                continue
+            if (r.load_at >= 0 and now - r.load_at <= staleness
+                    and r.queue >= self.config.scheduling.steal_min_queue
+                    and (best is None or r.queue > best.queue)):
+                best = r
+        if best is None:
+            return False
+        payload = dict(msg.payload)
+        payload["hops"] = hops + 1
+        payload["thief"] = thief
+        payload["rseq"] = int(msg.payload.get("rseq", msg.seq))
+        # the load/record figures in the payload are the thief's — they
+        # must not be re-attributed to this site by the next victim
+        payload["load"] = self.site.site_manager.current_load()
+        payload.pop("record", None)
+        self.stats.inc("helps_forwarded")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(now, self.local_id, "help_forward", thief, best.logical)
+        return self.site.message_manager.send(SDMessage(
+            type=MsgType.HELP_REQUEST,
+            src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=best.logical, dst_manager=ManagerId.SCHEDULING,
+            payload=payload))
 
     def _on_help_request(self, msg: SDMessage) -> None:
         record = msg.payload.get("record")
         if record is not None:
             self.site.cluster_manager.learn_record(record)
-        self.site.cluster_manager.note_load(msg.src_site,
-                                            msg.payload.get("load", 0.0))
-        cfg = self.config.scheduling
+        self.site.cluster_manager.note_load(
+            msg.src_site, msg.payload.get("load", 0.0),
+            queue=msg.src_queue)
         my_load = self.site.site_manager.current_load()
-        tr = self.tracer
         if self.site.paused:
-            self.site.message_manager.send(make_reply(
-                msg, MsgType.CANT_HELP, {"load": my_load}))
-            self.stats.inc("cant_help_sent")
-            if tr is not None:
-                tr.emit(self.kernel.now, self.local_id, "cant_help",
-                        msg.src_site)
+            if not self._forward_help(msg):
+                self._cant_help(msg, my_load)
             return
         spare = len(self.executable) + len(self.ready)
-        if spare > cfg.keep_local_min and self.executable:
-            frame = take_for_help(self.executable, cfg.help_reply_policy)
-        elif spare > cfg.keep_local_min and self.ready:
+        avail = spare - self.config.scheduling.keep_local_min
+        if avail <= 0:
+            if (not self._forward_help(msg)
+                    and not self._park_help(msg)):
+                self._cant_help(msg, my_load)
+            return
+        self._grant_help(msg)
+
+    def _grant_help(self, msg: SDMessage) -> None:
+        """Hand a batch of frames to the thief behind ``msg``.
+
+        Steal-half, bounded by the thief's advertised capacity and the
+        batch cap: hand over at most half of what we could spare.
+        """
+        cfg = self.config.scheduling
+        avail = (len(self.executable) + len(self.ready)
+                 - cfg.keep_local_min)
+        want = int(msg.payload.get("want", 1))
+        count = max(1, min(want, cfg.steal_batch_max, (avail + 1) // 2))
+        frames = take_batch_for_help(self.executable, cfg.help_reply_policy,
+                                     count)
+        while len(frames) < count and self.ready:
             frame, _compiled = (self.ready.pop()
                                 if cfg.help_reply_policy == "lifo"
                                 else self.ready.popleft())
-        else:
-            self.site.message_manager.send(make_reply(
-                msg, MsgType.CANT_HELP, {"load": my_load}))
-            self.stats.inc("cant_help_sent")
-            if tr is not None:
-                tr.emit(self.kernel.now, self.local_id, "cant_help",
-                        msg.src_site)
-            return
+            frames.append(frame)
+        thief = int(msg.payload.get("thief", msg.src_site))
+        tr = self.tracer
         if tr is not None:
-            tr.emit(self.kernel.now, self.local_id, "steal_out",
-                    msg.src_site, frame.frame_id.pack())
+            for frame in frames:
+                tr.emit(self.kernel.now, self.local_id, "steal_out",
+                        thief, frame.frame_id.pack())
         payload = {
-            "frame": frame.to_wire(),
-            "load": my_load,
+            "frames": [frame.to_wire() for frame in frames],
+            "load": self.site.site_manager.current_load(),
+            "queue": float(self.stealable_depth()),
+            "program_infos": self._program_infos(frames),
+            "epoch": self.site.epoch,
         }
-        if self.site.program_manager.knows(frame.program):
-            payload["program_info"] = (
-                self.site.program_manager.get(frame.program).to_wire())
-        self.site.message_manager.send(make_reply(
-            msg, MsgType.HELP_REPLY, payload))
-        self.stats.inc("steals_out")
+        if not self._reply_help(msg, MsgType.HELP_REPLY, payload):
+            # unresolvable thief (crashed between request and grant):
+            # keep the frames — handing them to a dead site loses them
+            self.stats.inc("grants_undeliverable")
+            for frame in frames:
+                self.executable.append(frame)
+            self._fill_ready()
+            return
+        for _ in frames:
+            self.stats.inc("steals_out")
+        self.stats.observe("steal_batch", float(len(frames)))
+
+    # ------------------------------------------------------------------
+    # deferred grants: parked help requests
+
+    def _park_help(self, msg: SDMessage) -> bool:
+        """Hold an unhelpable request briefly instead of refusing.
+
+        Only an *active* victim parks (executions in flight or code
+        fetches pending — a frame may surface within an execution time);
+        a truly idle one refuses immediately so the thief tries its luck
+        elsewhere.  The thief is quiet while its request is in flight, so
+        parking also stops it burning retries on other drained victims.
+        """
+        hold = self.config.scheduling.help_park_max
+        if hold <= 0:
+            return False
+        if not msg.payload.get("prefetch", False):
+            # the thief's lanes are empty right now: a prompt CANT_HELP
+            # lets it re-target (or react to gossip) within a retry
+            # interval, which beats holding it in limbo here — only a
+            # prefetching thief (still computing) can afford the wait
+            return False
+        pm = self.site.processing_manager
+        if pm.in_flight <= 0 and not self._pending_code:
+            return False
+        rseq = int(msg.payload.get("rseq", msg.seq))
+        if rseq in self._parked_helps or len(self._parked_helps) >= 8:
+            return False
+        timer = self.kernel.call_later(
+            hold, lambda: self._park_expired(rseq))
+        self._parked_helps[rseq] = (msg, timer)
+        self.stats.inc("helps_parked")
+        return True
+
+    def _park_expired(self, rseq: int) -> None:
+        entry = self._parked_helps.pop(rseq, None)
+        if entry is None:
+            return
+        msg, _timer = entry
+        self.stats.inc("help_parks_expired")
+        self._cant_help(msg, self.site.site_manager.current_load())
+
+    def _serve_parked_helps(self) -> None:
+        """Grant parked thieves from fresh surplus, oldest first."""
+        cfg = self.config.scheduling
+        while self._parked_helps and not self.site.paused:
+            if (len(self.executable) + len(self.ready)
+                    - cfg.keep_local_min) <= 0:
+                return
+            rseq = next(iter(self._parked_helps))
+            msg, timer = self._parked_helps.pop(rseq)
+            self.kernel.cancel(timer)
+            if not self._thief_alive(msg):
+                # the thief crashed while parked — granting would ship
+                # frames into the void
+                continue
+            self.stats.inc("help_parks_granted")
+            self._grant_help(msg)
+
+    def _flush_parked_helps(self) -> None:
+        """Refuse everything parked (stop/pause/sign-off paths)."""
+        while self._parked_helps:
+            rseq = next(iter(self._parked_helps))
+            msg, timer = self._parked_helps.pop(rseq)
+            self.kernel.cancel(timer)
+            self._cant_help(msg, self.site.site_manager.current_load())
+
+    def _program_infos(self, frames: List[Microframe]) -> List[dict]:
+        pm = self.site.program_manager
+        return [pm.get(pid).to_wire()
+                for pid in sorted({f.program for f in frames})
+                if pm.knows(pid)]
+
+    # ------------------------------------------------------------------
+    # load gossip + proactive push
+
+    def _on_load_report(self, msg: SDMessage) -> None:
+        self.stats.inc("gossip_received")
+        self.site.cluster_manager.note_load(
+            msg.src_site, msg.payload.get("load", msg.src_load),
+            queue=msg.payload.get("queue", msg.src_queue))
+        queue = msg.payload.get("queue", msg.src_queue)
+        # the steal_min_queue dampener assumes a queue-1 victim will run
+        # the frame itself before a request lands — the right bet for a
+        # prefetching thief, the wrong one for a site with empty lanes
+        # in the drain phase, where single-frame bursts are all there is
+        wake_at = (1 if self._pm_hungry
+                   else self.config.scheduling.steal_min_queue)
+        if queue is not None and queue >= wake_at:
+            # the sender has stealable work: fresh positive evidence beats
+            # stale failure memory, so take it off cooldown and drop the
+            # backoff a streak of startup CANT_HELPs built up, then react
+            # now instead of waiting out the retry timer
+            self._cooldown.pop(msg.src_site, None)
+            self._help_backoff = 1.0
+            self._maybe_help()
+        else:
+            # the sender is idle: maybe shed some surplus onto it
+            self._maybe_push()
+
+    def _gossip_tick(self) -> None:
+        self._gossip_timer = None
+        if not self.site.running:
+            return
+        interval = self.config.scheduling.gossip_interval
+        if interval <= 0:
+            return
+        if (not self.site.paused and not self.site.sleeping
+                and self.site.program_manager.has_active_programs()):
+            peers = sorted(r.logical
+                           for r in self.site.cluster_manager.alive_peers())
+            fanout = min(self.config.cluster.gossip_fanout, len(peers))
+            if fanout > 0:
+                start = self._gossip_cursor % len(peers)
+                self._gossip_cursor += fanout
+                queue = float(self.stealable_depth())
+                load = self.site.site_manager.current_load()
+                for i in range(fanout):
+                    peer = peers[(start + i) % len(peers)]
+                    self.site.message_manager.send(SDMessage(
+                        type=MsgType.LOAD_REPORT,
+                        src_site=self.local_id,
+                        src_manager=ManagerId.SCHEDULING,
+                        dst_site=peer, dst_manager=ManagerId.SCHEDULING,
+                        payload={"load": load, "queue": queue},
+                    ))
+                    self.stats.inc("gossip_sent")
+        self._gossip_timer = self.kernel.call_later(interval,
+                                                    self._gossip_tick)
+
+    def _maybe_push(self) -> None:
+        """Proactive work sharing: an overloaded site pushes surplus frames
+        toward a peer it knows (freshly) to be idle, before that peer asks."""
+        cfg = self.config.scheduling
+        if not cfg.push_enabled or self._adopting:
+            return
+        if self.site.paused or self.site.sleeping or self._pm_hungry:
+            return
+        spare = len(self.executable)
+        floor = max(cfg.keep_local_min, cfg.push_min_queue)
+        if spare <= floor:
+            return
+        target = self.site.cluster_manager.pick_push_target()
+        if target is None:
+            return
+        count = min(cfg.steal_batch_max, (spare + 1) // 2, spare - floor)
+        frames = take_push_batch(self.executable, cfg.help_reply_policy,
+                                 count)
+        if not frames:
+            return
+        tr = self.tracer
+        for frame in frames:
+            self.stats.inc("frames_pushed")
+            self.site.journal_event("push_out", target=target,
+                                    frame=frame.frame_id.pack())
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "push_out",
+                        target, frame.frame_id.pack())
+        self.site.message_manager.send(SDMessage(
+            type=MsgType.FRAME_TRANSFER,
+            src_site=self.local_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=target, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={
+                "frames": [frame.to_wire() for frame in frames],
+                "program_infos": self._program_infos(frames),
+                "epoch": self.site.epoch,
+            },
+        ))
+        self.site.cluster_manager.note_pushed(target, len(frames))
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -393,20 +763,36 @@ class SchedulingManager(Manager):
         # the frames start fresh on their new site; keeping the retry map
         # here would leak one entry per relocated frame forever
         self._code_retries.clear()
+        # parked thieves must look elsewhere — this site is signing off
+        self._flush_parked_helps()
         return frames
 
     def queue_depth(self) -> int:
         return (len(self.executable) + len(self.ready)
                 + len(self._pending_code))
 
+    def on_start(self) -> None:
+        if self.config.scheduling.gossip_interval > 0:
+            self._gossip_timer = self.kernel.call_later(
+                self.config.scheduling.gossip_interval, self._gossip_tick)
+
     def on_stop(self) -> None:
         if self._help_timer is not None:
             self.kernel.cancel(self._help_timer)
             self._help_timer = None
+        if self._gossip_timer is not None:
+            self.kernel.cancel(self._gossip_timer)
+            self._gossip_timer = None
+        # drop parked helps without replying: the site is going away and
+        # the thieves' request timeouts handle the silence
+        for _msg, timer in self._parked_helps.values():
+            self.kernel.cancel(timer)
+        self._parked_helps.clear()
 
     def status(self) -> dict:
         base = super().status()
         base["executable"] = len(self.executable)
         base["ready"] = len(self.ready)
         base["pending_code"] = len(self._pending_code)
+        base["inflight_helps"] = len(self._inflight_helps)
         return base

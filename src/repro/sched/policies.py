@@ -54,6 +54,44 @@ def take_for_help(queue: Deque[Microframe], policy: str) -> Microframe:
     raise SchedulingError(f"unknown help reply policy {policy!r}")
 
 
+def take_batch_for_help(queue: Deque[Microframe], policy: str,
+                        count: int) -> list:
+    """Take up to ``count`` frames to give away in one batched HELP_REPLY
+    (steal-half: the caller sizes ``count`` from its spare depth)."""
+    if count < 1:
+        raise SchedulingError("take_batch_for_help needs count >= 1")
+    out = []
+    while queue and len(out) < count:
+        out.append(take_for_help(queue, policy))
+    return out
+
+
+def take_push_batch(queue: Deque[Microframe], policy: str,
+                    count: int) -> list:
+    """Take up to ``count`` *non-critical* frames for a proactive push.
+
+    Critical-path frames stay local: the hints machinery pulls them
+    through the fast path here, and shipping them would put the program's
+    spine behind a network hop.
+    """
+    if count < 1:
+        raise SchedulingError("take_push_batch needs count >= 1")
+    taken: list = []
+    kept: list = []
+    while queue and len(taken) < count:
+        frame = take_for_help(queue, policy)
+        if frame.critical:
+            kept.append(frame)
+        else:
+            taken.append(frame)
+    if policy == "lifo":
+        queue.extend(reversed(kept))
+    else:
+        for frame in reversed(kept):
+            queue.appendleft(frame)
+    return taken
+
+
 def _has_hints(queue: Deque[Microframe]) -> bool:
     return any(f.critical or f.priority > 0.0 for f in queue)
 

@@ -52,6 +52,9 @@ class MessageManager(Manager):
             self._next_seq += 1
         if msg.src_load < 0 and self.site.running:
             msg.src_load = self.site.site_manager.current_load()
+        if msg.src_queue < 0 and self.site.running:
+            msg.src_queue = float(
+                self.site.scheduling_manager.stealable_depth())
         # causal stamp (tracing only — the disabled path never writes it):
         # the send inherits whatever causal context this site is currently
         # executing under (an incoming message or a frame execution).
@@ -240,7 +243,8 @@ class MessageManager(Manager):
                 return
             # replies may still resolve local pending requests; fall through
         if msg.src_load >= 0 and msg.src_site != self.local_id:
-            self.site.cluster_manager.note_load(msg.src_site, msg.src_load)
+            self.site.cluster_manager.note_load(msg.src_site, msg.src_load,
+                                                queue=msg.src_queue)
         if msg.reply_to >= 0:
             pending = self._pending.pop(msg.reply_to, None)
             if pending is not None:

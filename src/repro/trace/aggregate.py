@@ -120,9 +120,18 @@ def aggregate_sites(sites: List, tracer: Optional[Tracer] = None,  # noqa: ANN00
         "work_units": merged.get("work_units").total,
         "messages_sent": merged.get("sent").count,
         "bytes_sent": merged.get("bytes_sent").total,
-        "steal_success_rate": _rate(merged.get("steals_in").count,
+        # grants over *attempts*: help_sent counts at send time, so
+        # requests that time out with no reply at all still land in the
+        # denominator (a timed-out request is a failed attempt, not a
+        # non-event); the numerator counts correlated HELP_REPLY grants,
+        # not frames, so steal-half batching cannot push the rate past 1
+        "steal_success_rate": _rate(merged.get("steal_grants").count,
                                     merged.get("help_sent").count),
         "steals_in": merged.get("steals_in").count,
+        "steal_grants": merged.get("steal_grants").count,
+        "help_timeouts": merged.get("help_timeouts").count,
+        "frames_pushed": merged.get("frames_pushed").count,
+        "gossip_sent": merged.get("gossip_sent").count,
         "code_hit_rate": _rate(
             merged.get("hits").count,
             merged.get("hits").count + merged.get("misses").count),

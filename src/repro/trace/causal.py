@@ -29,6 +29,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.trace.tracer import Tracer, TracerEvent
 
+#: help-protocol message types: their transit on a critical path means
+#: the work itself travelled by stealing, not ordinary dataflow
+_STEAL_LABELS = frozenset({"HELP_REQUEST", "HELP_REPLY", "CANT_HELP"})
+#: load-view maintenance traffic — rarely on the path, but when a
+#: LOAD_REPORT triggers the steal that moved the work it should say so
+_GOSSIP_LABELS = frozenset({"LOAD_REPORT", "HEARTBEAT", "CLUSTER_INFO"})
+
 #: tag bits keeping message and execution node ids disjoint
 MSG_TAG = 1 << 62
 EXEC_TAG = 2 << 62
@@ -200,10 +207,13 @@ class CausalGraph:
         ``node_id`` (default: the last-completing node).
 
         Categories: ``compute`` (an execution's span), ``message-latency``
-        (a remote message's transit), ``sched-wait`` (gap between a cause
-        completing and the dependent execution starting — queueing, code
-        fetch, steal transport), ``handler`` (gap between a cause
-        completing and the dependent message leaving).
+        (a remote dataflow message's transit), ``steal-transfer`` (a
+        help-protocol message — HELP_REQUEST/HELP_REPLY/CANT_HELP — on
+        the path: work arrived here by being stolen), ``gossip`` (a
+        load-report/heartbeat message on the path), ``sched-wait`` (gap
+        between a cause completing and the dependent execution starting —
+        queueing, code fetch, steal transport), ``handler`` (gap between
+        a cause completing and the dependent message leaving).
         """
         if node_id is None:
             term = self.terminal()
@@ -227,8 +237,14 @@ class CausalGraph:
                     "site": node.site, "label": node.label,
                 })
             elif not node.local and node.end > node.start:
+                if node.label in _STEAL_LABELS:
+                    category = "steal-transfer"
+                elif node.label in _GOSSIP_LABELS:
+                    category = "gossip"
+                else:
+                    category = "message-latency"
                 segments.append({
-                    "category": "message-latency",
+                    "category": category,
                     "start": node.start, "end": node.end,
                     "site": node.site, "label": node.label,
                     "dst": node.dst,

@@ -41,6 +41,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "steal_out": ("thief", "frame"),
     "steal_in": ("victim", "frame"),
     "cant_help": ("requester",),
+    "help_forward": ("thief", "target"),
+    "push_out": ("target", "frame"),
     # code distribution (code manager)
     "code_hit": ("program", "thread"),
     "code_fetch": ("program", "thread", "home"),

@@ -119,11 +119,34 @@ class TestLookups:
         manager.sites[b].heir = a
         assert manager.effective_site(a) in (a, b)  # terminates
 
-    def test_pick_help_target_prefers_load(self):
+    def test_pick_help_target_prefers_queue_depth(self):
+        cluster = build(4)
+        manager = cluster.sites[0].cluster_manager
+        for site in cluster.sites[1:]:
+            manager.note_load(site.site_id, 0.0, queue=0.0)
+        deep = cluster.sites[2].site_id
+        manager.note_load(deep, 1.0, queue=5.0)
+        picks = {manager.pick_help_target() for _ in range(10)}
+        assert picks == {deep}
+
+    def test_pick_help_target_probes_unknown_before_fresh_busy(self):
+        # a fresh record with no known stealable queue is a worse bet than
+        # an unprobed peer, so the stale ones get the random probe first
         cluster = build(4)
         manager = cluster.sites[0].cluster_manager
         busy = cluster.sites[2].site_id
         manager.note_load(busy, 50.0)
+        others = {cluster.sites[1].site_id, cluster.sites[3].site_id}
+        picks = {manager.pick_help_target() for _ in range(20)}
+        assert picks <= others and picks
+
+    def test_pick_help_target_prefers_load_when_all_fresh(self):
+        cluster = build(4)
+        manager = cluster.sites[0].cluster_manager
+        for site in cluster.sites[1:]:
+            manager.note_load(site.site_id, 0.0, queue=0.0)
+        busy = cluster.sites[2].site_id
+        manager.note_load(busy, 50.0, queue=0.0)
         picks = {manager.pick_help_target() for _ in range(10)}
         assert picks == {busy}
 

@@ -9,7 +9,8 @@ import pytest
 from repro.common.errors import SchedulingError
 from repro.common.ids import GlobalAddress
 from repro.core.frames import Microframe
-from repro.sched.policies import pop_frame, take_for_help
+from repro.sched.policies import (pop_frame, take_batch_for_help,
+                                  take_for_help, take_push_batch)
 from repro.site.simcluster import SimCluster
 
 
@@ -75,6 +76,36 @@ class TestPolicies:
         with pytest.raises(SchedulingError):
             take_for_help(frames(1), "sjf")
 
+    def test_batch_lifo_takes_newest_first(self):
+        queue = frames(5)
+        batch = take_batch_for_help(queue, "lifo", 3)
+        assert [f.frame_id.local for f in batch] == [5, 4, 3]
+        assert len(queue) == 2
+
+    def test_batch_stops_at_queue_bottom(self):
+        queue = frames(2)
+        assert len(take_batch_for_help(queue, "fifo", 5)) == 2
+        assert not queue
+
+    def test_batch_count_validated(self):
+        with pytest.raises(SchedulingError):
+            take_batch_for_help(frames(3), "lifo", 0)
+        with pytest.raises(SchedulingError):
+            take_push_batch(frames(3), "lifo", 0)
+
+    def test_push_batch_skips_critical_and_restores_order(self):
+        queue = frames(5, critical_indices=(1, 3))
+        batch = take_push_batch(queue, "fifo", 3)
+        # the three non-critical frames go; the critical two stay, in order
+        assert [f.frame_id.local for f in batch] == [1, 3, 5]
+        assert [f.frame_id.local for f in queue] == [2, 4]
+
+    def test_push_batch_lifo_restores_order(self):
+        queue = frames(4, critical_indices=(3,))
+        batch = take_push_batch(queue, "lifo", 2)
+        assert [f.frame_id.local for f in batch] == [3, 2]
+        assert [f.frame_id.local for f in queue] == [1, 4]
+
 
 class TestStarvationFreedom:
     def test_fifo_local_no_starvation(self, fast_config):
@@ -88,24 +119,25 @@ class TestStarvationFreedom:
         assert handle.result == first_n_primes(30)
 
 
+@pytest.fixture
+def running_pair(fast_config):
+    from repro.apps import build_primes_program
+    cluster = SimCluster(nsites=2,
+                         config=fast_config.with_(journal=True))
+    handle = cluster.submit(build_primes_program(),
+                            args=(25, 6, 400.0, 4000.0))
+    cluster.sim.run(until=0.05)
+    thief, victim = cluster.sites
+    assert thief.program_manager.is_active(handle.pid)
+    return cluster, thief, victim, handle
+
+
 class TestLateHelpReply:
     """A HELP_REPLY that arrives after its request timed out still carries
-    a stolen frame; it must run through the same accounting as the
-    correlated reply path (regression: the late path used to re-enqueue
-    the frame but skip ``steals_in``, the journal event, the backoff
-    reset, and the victim's cooldown removal)."""
-
-    @pytest.fixture
-    def running_pair(self, fast_config):
-        from repro.apps import build_primes_program
-        cluster = SimCluster(nsites=2,
-                             config=fast_config.with_(journal=True))
-        handle = cluster.submit(build_primes_program(),
-                                args=(25, 6, 400.0, 4000.0))
-        cluster.sim.run(until=0.05)
-        thief, victim = cluster.sites
-        assert thief.program_manager.is_active(handle.pid)
-        return cluster, thief, victim, handle
+    stolen frames, so it must adopt and account them — but the timed-out
+    request already fed the backoff/cooldown failure path, so the late
+    reply must NOT reset that congestion state (only a reply correlated
+    to a live in-flight request may)."""
 
     def _late_reply(self, mtype, thief, victim, pid):
         from repro.common.ids import ManagerId
@@ -114,36 +146,71 @@ class TestLateHelpReply:
         if mtype is MsgType.HELP_REPLY:
             frame = Microframe(GlobalAddress(victim.site_id, 7777),
                                thread_id=0, program=pid, nparams=0)
-            payload["frame"] = frame.to_wire()
+            payload["frames"] = [frame.to_wire()]
         return SDMessage(
             type=mtype,
             src_site=victim.site_id, src_manager=ManagerId.SCHEDULING,
             dst_site=thief.site_id, dst_manager=ManagerId.SCHEDULING,
             payload=payload)
 
-    def test_late_reply_counts_as_steal(self, running_pair):
+    def test_late_reply_adopts_but_keeps_backoff(self, running_pair):
         from repro.messages import MsgType
         _cluster, thief, victim, handle = running_pair
         sm = thief.scheduling_manager
-        sm._cooldown[victim.site_id] = sm.kernel.now + 100.0
-        sm._cooldown[999] = sm.kernel.now + 100.0
+        sm._cooldown[victim.site_id] = until = sm.kernel.now + 100.0
         sm._help_backoff = 4.0
-        sm._help_outstanding = True
         steals = sm.stats.get("steals_in").count
         enqueued = sm.stats.get("frames_enqueued").count
+        grants = sm.stats.get("steal_grants").count
+        late = sm.stats.get("late_steal_grants").count
 
         sm.handle(self._late_reply(MsgType.HELP_REPLY, thief, victim,
                                    handle.pid))
 
+        # the frame is adopted and fully accounted...
         assert sm.stats.get("steals_in").count == steals + 1
         assert sm.stats.get("frames_enqueued").count == enqueued + 1
+        assert sm.stats.get("late_steal_grants").count == late + 1
         assert any(k == "steal_in" and d.get("victim") == victim.site_id
                    for _t, k, d in thief.journal)
+        # ...but the fence holds: a reply to a dead request must not wipe
+        # congestion state mid-congestion
+        assert sm._help_backoff == 4.0
+        assert sm._cooldown[victim.site_id] == until
+        # and it is not a correlated grant (success-rate numerator)
+        assert sm.stats.get("steal_grants").count == grants
+
+    def test_live_reply_resets_backoff_and_cooldown(self, running_pair):
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        from repro.sched.manager import _HelpRequest
+        _cluster, thief, victim, handle = running_pair
+        sm = thief.scheduling_manager
+        sm._help_backoff = 4.0
+        sm._cooldown[victim.site_id] = sm.kernel.now + 100.0
+        sm._cooldown[999] = sm.kernel.now + 100.0
+        sm._inflight_helps[4242] = _HelpRequest(
+            victim.site_id, prefetch=False, sent_at=sm.kernel.now)
+        frame = Microframe(GlobalAddress(victim.site_id, 7778),
+                           thread_id=0, program=handle.pid, nparams=0)
+        steals = sm.stats.get("steals_in").count
+        grants = sm.stats.get("steal_grants").count
+
+        sm._on_help_reply(SDMessage(
+            type=MsgType.HELP_REPLY,
+            src_site=victim.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=thief.site_id, dst_manager=ManagerId.SCHEDULING,
+            reply_to=4242,
+            payload={"load": 1.0, "queue": 0.0,
+                     "frames": [frame.to_wire()]}))
+
+        assert sm.stats.get("steals_in").count == steals + 1
+        assert sm.stats.get("steal_grants").count == grants + 1
         # the victim just proved it can help: off cooldown, backoff reset
-        assert victim.site_id not in sm._cooldown
         assert sm._help_backoff == 1.0
-        # ...but state belonging to the *newer* request is untouched
-        assert sm._help_outstanding is True
+        assert victim.site_id not in sm._cooldown
+        assert 4242 not in sm._inflight_helps
+        # unrelated cooldown state is untouched
         assert 999 in sm._cooldown
 
     def test_late_cant_help_is_ignored(self, running_pair):
@@ -156,6 +223,278 @@ class TestLateHelpReply:
                                    handle.pid))
         assert sm.stats.get("steals_in").count == steals
         assert sm._cooldown[victim.site_id] == until
+
+
+class TestBackoffAndCooldown:
+    def test_backoff_grows_and_caps(self, running_pair):
+        _cluster, thief, _victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        sm._help_backoff = 1.0
+        for expected in (1.5, 2.25, 3.375):
+            sm._schedule_retry()
+            assert sm._help_backoff == expected
+            sm.kernel.cancel(sm._help_timer)
+            sm._help_timer = None
+        sm._help_backoff = 15.0
+        sm._schedule_retry()
+        assert sm._help_backoff == 20.0  # capped, not 22.5
+        sm.kernel.cancel(sm._help_timer)
+        sm._help_timer = None
+
+    def test_kick_resets_backoff(self, running_pair):
+        _cluster, thief, _victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        sm._help_backoff = 8.0
+        sm.kick()
+        assert sm._help_backoff == 1.0
+
+    def test_victim_cooldown_blocks_then_expires(self, running_pair):
+        _cluster, thief, victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        # only peer is unknown-freshness: eligible unless on cooldown
+        thief.cluster_manager.sites[victim.site_id].load_at = -1.0
+        sent = sm.stats.get("help_sent").count
+        sm._cooldown[victim.site_id] = sm.kernel.now + 100.0
+        sm._send_help()
+        assert sm.stats.get("help_sent").count == sent  # victim skipped
+        sm._cooldown[victim.site_id] = sm.kernel.now - 1.0  # expired
+        sm._send_help()
+        assert sm.stats.get("help_sent").count == sent + 1
+        assert victim.site_id in {req.target
+                                  for req in sm._inflight_helps.values()}
+
+    def test_timed_out_request_counts_as_attempt(self, running_pair):
+        """Satellite of the success-rate fix: a request that times out
+        with no reply at all must land in the attempt denominator."""
+        from repro.trace.aggregate import aggregate_sites
+        _cluster, thief, victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        thief.cluster_manager.sites[victim.site_id].load_at = -1.0
+        sm._cooldown.clear()
+        sent = sm.stats.get("help_sent").count
+        sm._send_help()
+        assert sm.stats.get("help_sent").count == sent + 1
+        seq = next(iter(sm._inflight_helps))
+        timeouts = sm.stats.get("help_timeouts").count
+        sm._help_timed_out(seq)
+        assert sm.stats.get("help_timeouts").count == timeouts + 1
+        assert not sm._inflight_helps
+        grants = sm.stats.get("steal_grants").count
+        attempts = sm.stats.get("help_sent").count
+        report = aggregate_sites([thief])
+        # the timed-out request is in the denominator, not a non-event
+        assert report.derived["steal_success_rate"] == pytest.approx(
+            grants / attempts)
+        assert report.derived["steal_success_rate"] < 1.0
+
+
+class TestVictimSelection:
+    @pytest.fixture
+    def cm(self, fast_config):
+        cluster = SimCluster(nsites=4, config=fast_config)
+        cluster.sim.run(until=0.05)
+        manager = cluster.sites[0].cluster_manager
+        now = manager.kernel.now
+        for record in manager.alive_peers():
+            record.load_at = now
+            record.load = 0.0
+            record.queue = 0.0
+        return manager
+
+    def test_all_fresh_and_empty_yields_none(self, cm):
+        assert cm.pick_help_target(()) is None
+
+    def test_deepest_fresh_queue_wins(self, cm):
+        cm.sites[1].queue = 2.0
+        cm.sites[2].queue = 5.0
+        assert cm.pick_help_target(()) == 2
+        assert cm.pick_help_target({2}) == 1
+
+    def test_stale_peers_get_probed(self, cm):
+        for record in cm.alive_peers():
+            record.load_at = -1.0
+        assert cm.pick_help_target(()) in {1, 2, 3}
+
+    def test_fresh_busy_peer_beats_nothing(self, cm):
+        # queues empty everywhere, but one peer's load says work may
+        # surface: probe it rather than backing off
+        cm.sites[3].load = 4.0
+        assert cm.pick_help_target(()) == 3
+
+    def test_push_target_needs_fresh_idle_peer(self, cm):
+        for record in cm.alive_peers():
+            record.load_at = -1.0
+        assert cm.pick_push_target() is None
+        cm.sites[1].load_at = cm.kernel.now
+        assert cm.pick_push_target() == 1
+        # pushing marks the peer non-idle so the next push spreads
+        cm.note_pushed(1, 2)
+        assert cm.pick_push_target() is None
+
+
+class TestStealBatching:
+    def _park_frames(self, sm, pid, count, start=9000):
+        for i in range(count):
+            sm.executable.append(Microframe(
+                GlobalAddress(0, start + i), thread_id=0,
+                program=pid, nparams=0))
+
+    def test_steal_half_bounded_by_want(self, running_pair):
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        _cluster, victim, thief, handle = running_pair
+        sm = victim.scheduling_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        self._park_frames(sm, handle.pid, 12)
+        outs = sm.stats.get("steals_out").count
+        sm._on_help_request(SDMessage(
+            type=MsgType.HELP_REQUEST, seq=777,
+            src_site=thief.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=victim.site_id, dst_manager=ManagerId.SCHEDULING,
+            payload={"load": 0.0, "want": 3}))
+        # min(want=3, steal_batch_max=4, half of 12) = 3 frames granted
+        assert sm.stats.get("steals_out").count == outs + 3
+        assert len(sm.executable) == 9
+        # batch sizes are tracked as a histogram, not a counter
+        assert any(name == "steal_batch"
+                   for name, _hist in sm.stats.hist_items())
+
+    def test_steal_half_never_takes_more_than_half(self, running_pair):
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        _cluster, victim, thief, handle = running_pair
+        sm = victim.scheduling_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        self._park_frames(sm, handle.pid, 3)
+        outs = sm.stats.get("steals_out").count
+        sm._on_help_request(SDMessage(
+            type=MsgType.HELP_REQUEST, seq=778,
+            src_site=thief.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=victim.site_id, dst_manager=ManagerId.SCHEDULING,
+            payload={"load": 0.0, "want": 4}))
+        # min(want=4, batch_max=4, (3+1)//2=2) = 2: over half stays home
+        assert sm.stats.get("steals_out").count == outs + 2
+        assert len(sm.executable) == 1
+
+    def test_batched_reply_lands_every_frame(self, running_pair):
+        cluster, victim, thief, handle = running_pair
+        sm = victim.scheduling_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        self._park_frames(sm, handle.pid, 12)
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        replies = []
+        thief.message_manager.request(SDMessage(
+            type=MsgType.HELP_REQUEST,
+            src_site=thief.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=victim.site_id, dst_manager=ManagerId.SCHEDULING,
+            payload={"load": 0.0, "want": 3},
+        ), replies.append)
+        cluster.sim.run(until=0.2)
+        assert len(replies) == 1
+        assert replies[0].type is MsgType.HELP_REPLY
+        assert len(replies[0].payload["frames"]) == 3
+        # program info rides along so the thief can adopt immediately
+        pids = [w["pid"] for w in replies[0].payload["program_infos"]]
+        assert handle.pid in pids
+
+
+class TestProactivePush:
+    def test_push_sheds_surplus_to_known_idle_peer(self, running_pair):
+        cluster, pusher, peer, handle = running_pair
+        sm = pusher.scheduling_manager
+        cm = pusher.cluster_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        sm._pm_hungry = 0
+        for i in range(5):
+            sm.executable.append(Microframe(
+                GlobalAddress(0, 9100 + i), thread_id=0,
+                program=handle.pid, nparams=0))
+        cm.note_load(peer.site_id, 0.0, queue=0.0)  # fresh & idle
+        sm._maybe_push()
+        # spare=5, floor=max(keep_local_min=0, push_min_queue=1)=1:
+        # count = min(batch_max=4, (5+1)//2=3, 5-1=4) = 3
+        assert sm.stats.get("frames_pushed").count == 3
+        assert len(sm.executable) == 2
+        assert any(k == "push_out" and d.get("target") == peer.site_id
+                   for _t, k, d in pusher.journal)
+        # the peer adopts the batch once the transfer is delivered
+        cluster.sim.run(until=0.2)
+        adopted = peer.attraction_memory.stats.get("frames_adopted").count
+        assert adopted >= 3
+
+    def test_no_push_without_fresh_idle_view(self, running_pair):
+        _cluster, pusher, peer, handle = running_pair
+        sm = pusher.scheduling_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        sm._pm_hungry = 0
+        for i in range(5):
+            sm.executable.append(Microframe(
+                GlobalAddress(0, 9200 + i), thread_id=0,
+                program=handle.pid, nparams=0))
+        pusher.cluster_manager.sites[peer.site_id].load_at = -1.0
+        sm._maybe_push()
+        assert sm.stats.get("frames_pushed").count == 0
+        assert len(sm.executable) == 5
+
+    def test_critical_frames_stay_home(self, running_pair):
+        _cluster, pusher, peer, handle = running_pair
+        sm = pusher.scheduling_manager
+        sm.executable.clear()
+        sm.ready.clear()
+        sm._pm_hungry = 0
+        for i in range(5):
+            frame = Microframe(GlobalAddress(0, 9300 + i), thread_id=0,
+                               program=handle.pid, nparams=0)
+            frame.critical = True
+            sm.executable.append(frame)
+        pusher.cluster_manager.note_load(peer.site_id, 0.0, queue=0.0)
+        sm._maybe_push()
+        assert sm.stats.get("frames_pushed").count == 0
+        assert len(sm.executable) == 5
+
+
+class TestPrefetchEscalation:
+    """A prefetched steal in flight must not suppress a genuine idle-time
+    help request: an idle site whose only outstanding requests are
+    prefetches escalates with a real one."""
+
+    def _drain(self, sm):
+        sm.executable.clear()
+        sm.ready.clear()
+        sm._pending_code.clear()
+        sm._cooldown.clear()
+
+    def test_idle_site_escalates_past_prefetch(self, running_pair):
+        from repro.sched.manager import _HelpRequest
+        _cluster, thief, victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        self._drain(sm)
+        thief.cluster_manager.sites[victim.site_id].load_at = -1.0
+        sm._pm_hungry = 1  # genuinely idle
+        sm._inflight_helps = {99: _HelpRequest(999, prefetch=True,
+                                               sent_at=sm.kernel.now)}
+        sent = sm.stats.get("help_sent").count
+        sm._maybe_help()
+        assert sm.stats.get("help_sent").count == sent + 1
+
+    def test_real_request_in_flight_suppresses(self, running_pair):
+        from repro.sched.manager import _HelpRequest
+        _cluster, thief, victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        self._drain(sm)
+        thief.cluster_manager.sites[victim.site_id].load_at = -1.0
+        sm._pm_hungry = 1
+        sm._inflight_helps = {99: _HelpRequest(999, prefetch=False,
+                                               sent_at=sm.kernel.now)}
+        sent = sm.stats.get("help_sent").count
+        sm._maybe_help()
+        assert sm.stats.get("help_sent").count == sent
 
 
 class TestCodeRetryCleanup:
@@ -254,15 +593,17 @@ class TestHelpProtocol:
         out = stats.get("steals_out").count
         received = stats.get("steals_in").count
         assert out >= received
-        # conservation: every enqueue is an execution, a re-enqueue at the
-        # thief after a steal, a drop at program termination, still queued
-        # at shutdown, or riding a HELP_REPLY still in flight when the sim
-        # stopped (out - received) — frames are never duplicated or lost
+        # conservation, outflow form: every enqueued frame ends in exactly
+        # one bucket — executed, dropped at program termination, dropped as
+        # stale, handed to a thief (steals_out; the thief's re-enqueue is
+        # its own enqueue event), pushed to an idle peer (frames_pushed;
+        # likewise re-enqueued there), still queued, or in a PM slot.
+        # Frames are never duplicated or lost.
         accounted = (stats.get("executions").count
-                     + received
                      + stats.get("frames_dropped_terminated").count
                      + stats.get("stale_work_dropped").count
-                     + (out - received)
+                     + out
+                     + stats.get("frames_pushed").count
                      + sum(s.scheduling_manager.queue_depth()
                            for s in cluster.sites)
                      + sum(s.processing_manager.in_flight
