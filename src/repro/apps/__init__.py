@@ -12,6 +12,11 @@
   output through the frontend.
 * :mod:`repro.apps.stencil` — iterative Jacobi relaxation, the "permanently
   running climate-model-like" workload used by migration examples (§2.2).
+* :mod:`repro.apps.memstress` — shared-object read/write stress for the
+  sharded attraction-memory directory (chaos + scaling runs).
+* :mod:`repro.apps.treesum` — log-depth fan-out/reduce over scalar
+  leaves, the scalable-structure workload the big-cluster scaling gate
+  measures (§2.2).
 """
 
 from repro.apps.primes import (
@@ -29,6 +34,10 @@ __all__ = [
     "build_mergesort_program",
     "build_mandelbrot_program",
     "build_stencil_program",
+    "build_memstress_program",
+    "memstress_expected",
+    "build_treesum_program",
+    "treesum_expected",
 ]
 
 
@@ -48,4 +57,16 @@ def __getattr__(name: str):  # lazy: each app module loads on first use
     if name == "build_stencil_program":
         from repro.apps.stencil import build_stencil_program
         return build_stencil_program
+    if name == "build_memstress_program":
+        from repro.apps.memstress import build_memstress_program
+        return build_memstress_program
+    if name == "memstress_expected":
+        from repro.apps.memstress import memstress_expected
+        return memstress_expected
+    if name == "build_treesum_program":
+        from repro.apps.treesum import build_treesum_program
+        return build_treesum_program
+    if name == "treesum_expected":
+        from repro.apps.treesum import treesum_expected
+        return treesum_expected
     raise AttributeError(name)

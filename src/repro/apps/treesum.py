@@ -1,0 +1,76 @@
+"""Tree fan-out/reduce — the scalable-structure workload for big clusters.
+
+``leaves`` independent leaf computations are reached through a binary
+spawn tree and combined through a matching merge tree, so both work
+*distribution* and result *reduction* are O(log leaves) deep.  Payloads
+are scalars.  This is the structure §2.2's "essentially scalable to any
+desired size" claim is about: nothing in the program serializes on one
+site, so whatever ceiling a run hits is the *cluster's* (steal latency,
+gossip quality, directory hops), not the application's.
+
+The primes benchmark deliberately is NOT this shape — its collector
+chain threads state through one frame per candidate, an O(candidates)
+serial spine that becomes the bottleneck long before 256 sites.  The
+scaling suite therefore gates on treesum and keeps primes for the
+small-cluster Table 1 figures.
+
+Entry: ``main(ctx, leaves, scale)``; result: the checksum sum over all
+leaves (see :func:`treesum_expected`).
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ProgramBuilder, SDVMProgram
+
+
+def treesum_expected(leaves: int) -> int:
+    """Reference result for verification."""
+    return sum(i * i % 9973 for i in range(leaves))
+
+
+def build_treesum_program() -> SDVMProgram:
+    prog = ProgramBuilder(
+        "treesum", description="log-depth fan-out/reduce over scalar leaves")
+
+    @prog.microthread(work=20, creates=("node", "finish"), entry=True)
+    def main(ctx, leaves, scale):
+        ctx.charge(20)
+        if leaves < 1:
+            ctx.exit_program(0)
+            return
+        finish = ctx.create_frame("finish")
+        root = ctx.create_frame("node", targets=[(finish, 0)])
+        ctx.send_result(root, 0, 0)
+        ctx.send_result(root, 1, leaves)
+        ctx.send_result(root, 2, scale)
+
+    @prog.microthread(work=200, creates=("node", "merge"))
+    def node(ctx, lo, hi, scale):
+        if hi - lo == 1:
+            # leaf: deterministic, deliberately uneven compute so the
+            # load balancer has real imbalance to smooth out
+            ctx.charge(scale * (1.0 + (lo % 7) * 0.25))
+            ctx.send_to_targets(lo * lo % 9973)
+            return
+        ctx.charge(20)
+        mid = (lo + hi) // 2
+        merge = ctx.create_frame("merge", targets=ctx.targets())
+        for frame, a, b in ((ctx.create_frame("node", targets=[(merge, 0)]),
+                             lo, mid),
+                            (ctx.create_frame("node", targets=[(merge, 1)]),
+                             mid, hi)):
+            ctx.send_result(frame, 0, a)
+            ctx.send_result(frame, 1, b)
+            ctx.send_result(frame, 2, scale)
+
+    @prog.microthread(work=20)
+    def merge(ctx, a, b):
+        ctx.charge(20)
+        ctx.send_to_targets(a + b)
+
+    @prog.microthread(work=10)
+    def finish(ctx, total):
+        ctx.output("treesum: " + str(total))
+        ctx.exit_program(total)
+
+    return prog.build()

@@ -27,6 +27,7 @@ from repro.bench.harness import (
     render_table,
     render_violations,
     run_primes,
+    run_treesum,
     speedup_row,
     write_bench_json,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "render_table",
     "render_violations",
     "run_primes",
+    "run_treesum",
     "speedup_row",
     "write_bench_json",
 ]

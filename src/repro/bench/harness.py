@@ -6,7 +6,8 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps import build_primes_program, first_n_primes
+from repro.apps import (build_primes_program, build_treesum_program,
+                        first_n_primes, treesum_expected)
 from repro.common.config import SchedulingConfig, SDVMConfig
 from repro.common.errors import SDVMError
 from repro.site.simcluster import SimCluster
@@ -66,6 +67,20 @@ def run_primes(p: int, width: int, nsites: int, scale: float, base: float,
     if verify and handle.result != first_n_primes(p):
         raise SDVMError(f"primes({p}, {width}) returned a wrong result")
     dump_trace_artifact(cluster, f"primes_p{p}_w{width}_s{nsites}")
+    return handle.duration, cluster
+
+
+def run_treesum(leaves: int, scale: float, nsites: int,
+                config: Optional[SDVMConfig] = None,
+                verify: bool = True,
+                progress_timeout: float = 600.0) -> Tuple[float, SimCluster]:
+    """Run the treesum app; returns (virtual duration, cluster)."""
+    cluster = SimCluster(nsites=nsites, config=config or bench_config())
+    handle = cluster.submit(build_treesum_program(), args=(leaves, scale))
+    cluster.run(progress_timeout=progress_timeout)
+    if verify and handle.result != treesum_expected(leaves):
+        raise SDVMError(f"treesum({leaves}) returned a wrong result")
+    dump_trace_artifact(cluster, f"treesum_l{leaves}_s{nsites}")
     return handle.duration, cluster
 
 

@@ -18,10 +18,11 @@ gate.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Tuple
 
 from repro.bench.harness import (bench_config, cluster_bench_metrics,
-                                 run_primes, wall_clock_meta)
+                                 run_primes, run_treesum, wall_clock_meta)
 
 #: (metrics, tolerances, meta) — ``metrics`` are gated against baselines,
 #: ``meta`` is informational only
@@ -88,9 +89,74 @@ def overhead_1site_suite() -> SuiteResult:
     return metrics, tolerances, wall_clock_meta([cluster])
 
 
+def _scaling_config():
+    # big-cluster tuning: gossip an order slower than the bench default
+    # (256 sites at 1e-3 bury the run in heartbeats), staleness stretched
+    # to stay ahead of the interval so load info is ever considered
+    # fresh.  Untraced — at 256 sites wall clock is the scarce resource.
+    base = bench_config()
+    return base.with_(scheduling=replace(base.scheduling,
+                                         gossip_interval=1e-2,
+                                         gossip_staleness=5e-2))
+
+
+def scaling_suite() -> SuiteResult:
+    """treesum(4096) on 1/64/256 sites: speedup must keep RISING.
+
+    The headline metric is ``scaling_gain_64_to_256`` = t_64 / t_256:
+    above 1.0 the cluster still gains from the 64 -> 256 growth step.
+    The baseline pins it near its measured value; the tolerance leaves
+    room for scheduler tuning but a regression back to the old inverted
+    regime (gain < 1) is far outside any tolerance.
+
+    treesum, not primes: the primes collector chain is an O(candidates)
+    serial spine that tops out long before 256 sites no matter how good
+    work distribution is (see :mod:`repro.apps.treesum`).
+    """
+    leaves, scale = 4096, 16000.0
+    timings: Dict[int, float] = {}
+    clusters = []
+    cluster256 = None
+    for nsites in (1, 64, 256):
+        duration, cluster = run_treesum(leaves, scale, nsites,
+                                        config=_scaling_config())
+        timings[nsites] = duration
+        clusters.append(cluster)
+        if nsites == 256:
+            cluster256 = cluster
+    metrics: Dict[str, float] = {
+        "t_1": timings[1],
+        "t_64": timings[64],
+        "t_256": timings[256],
+        "speedup_64": timings[1] / timings[64],
+        "speedup_256": timings[1] / timings[256],
+        "scaling_gain_64_to_256": timings[64] / timings[256],
+    }
+    metrics.update(cluster_bench_metrics(cluster256, prefix="s256_"))
+    tolerances = {
+        # 256-site timings are schedule-sensitive: any intentional change
+        # to steal/gossip policy shifts them more than the 5% default
+        "t_64": 0.15,
+        "t_256": 0.15,
+        "speedup_64": 0.15,
+        "speedup_256": 0.20,
+        "scaling_gain_64_to_256": 0.25,
+        "s256_steal_success_rate": _RATE_TOL,
+        "s256_messages_sent": 0.20,
+        "s256_bytes_sent": 0.20,
+        "s256_steals_in": _RATE_TOL,
+        "s256_steal_grants": _RATE_TOL,
+        "s256_help_timeouts": _RATE_TOL,
+        "s256_frames_pushed": _RATE_TOL,
+        "s256_gossip_sent": _RATE_TOL,
+    }
+    return metrics, tolerances, wall_clock_meta(clusters)
+
+
 #: suite name -> callable producing (metrics, tolerances[, meta]); the
 #: fast subset run by ``make bench-gate``
 GATE_SUITES: Dict[str, Callable[[], SuiteResult]] = {
     "primes_speedup": primes_speedup_suite,
     "overhead_1site": overhead_1site_suite,
+    "scaling": scaling_suite,
 }

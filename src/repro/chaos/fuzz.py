@@ -20,7 +20,9 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.apps import build_primes_program, first_n_primes
+from repro.apps import (build_memstress_program, build_primes_program,
+                        build_treesum_program, first_n_primes,
+                        memstress_expected, treesum_expected)
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.plan import FaultPlan, random_plan, shrink_plan
 from repro.common.config import (CheckpointConfig, ClusterConfig, CostModel,
@@ -31,6 +33,21 @@ from repro.site.simcluster import SimCluster
 #: the standard chaos workload: primes(p, width) with compute scaled up so
 #: the program is still running when mid-plan faults fire
 WORKLOAD = (40, 6, 800.0, 8000.0)
+
+#: plan.workload -> (program builder, entry args, expected-results thunk).
+#: "memstress" allocates shared objects and read-migrates them between
+#: sites, exercising the sharded directory under the plan's faults.
+WORKLOADS = {
+    "primes": (build_primes_program, WORKLOAD,
+               lambda: [first_n_primes(WORKLOAD[0])]),
+    "memstress": (build_memstress_program, (48, 60000.0),
+                  lambda: [memstress_expected(48)]),
+    # heavy leaves: even spread over hundreds of sites, the work phase
+    # outlives crash *detection* (heartbeat timeout), so a mid-run crash
+    # in a big-cluster plan actually exercises rollback recovery
+    "treesum": (build_treesum_program, (2048, 20000.0),
+                lambda: [treesum_expected(2048)]),
+}
 
 #: extra virtual time after the last fault/result for in-flight recovery
 #: control (retries, DONEs) to settle before invariants are audited
@@ -45,15 +62,26 @@ def chaos_config(plan: FaultPlan) -> SDVMConfig:
     timeout, so a healed partition never escalates to mutual crash
     suspicion.  Tracing is always on — the journal is both the
     determinism witness and the monotonicity evidence.
+
+    Plans bigger than the 16-peer sample window switch to ring-successor
+    heartbeats (full mesh is O(sites^2) per beat — a 256-site plan would
+    spend its whole event budget on liveness) and turn the load gossip
+    on, since blind begging is the very O(sites) regime the hot-peer
+    cache exists to avoid.  Small plans keep the historical config
+    bit-for-bit.
     """
+    big = plan.nsites > 16
     return SDVMConfig(
         seed=plan.seed,
         trace=True,
         cost=CostModel(compile_fixed_cost=1e-4),
-        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
+        scheduling=SchedulingConfig(ready_target=1, keep_local_min=0,
+                                    gossip_interval=1e-2 if big else 0.0,
+                                    gossip_staleness=5e-2 if big else 5e-3),
         cluster=ClusterConfig(heartbeats_enabled=True,
                               heartbeat_interval=0.05,
-                              heartbeat_timeout=0.25),
+                              heartbeat_timeout=0.25,
+                              heartbeat_fanout=3 if big else 0),
         checkpoint=CheckpointConfig(enabled=True,
                                     interval=plan.ckpt_interval),
     )
@@ -93,11 +121,14 @@ def run_plan(plan: FaultPlan,
              progress_timeout: float = 30.0) -> ChaosRunResult:
     """Execute one fault plan against the standard workload and audit it."""
     plan.validate()
+    workload = WORKLOADS.get(plan.workload)
+    if workload is None:
+        raise SDVMError(f"unknown chaos workload {plan.workload!r} "
+                        f"(known: {sorted(WORKLOADS)})")
+    build, args, expected = workload
     cluster = SimCluster(nsites=plan.nsites, config=chaos_config(plan))
     cluster.apply_chaos(plan)
-    p, width, scale, base = WORKLOAD
-    cluster.submit(build_primes_program(), args=(p, width, scale, base),
-                   site_index=plan.submit_site)
+    cluster.submit(build(), args=args, site_index=plan.submit_site)
     violations: List[Violation] = []
     try:
         cluster.run(until=plan.horizon, raise_on_failure=False,
@@ -109,7 +140,7 @@ def run_plan(plan: FaultPlan,
     cluster.sim.run(until=drain_until)
     checker = InvariantChecker(cluster,
                                expect_complete=plan.expect_complete,
-                               expected_results=[first_n_primes(p)])
+                               expected_results=expected())
     violations.extend(checker.check())
     return ChaosRunResult(plan=plan, violations=violations,
                           fingerprint=journal_fingerprint(cluster.tracer),

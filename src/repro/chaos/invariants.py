@@ -12,6 +12,10 @@ journal for properties that must hold no matter which faults fired:
 * **no recovery in flight** — ``_recovering`` cleared, crash queue empty.
 * **single-owner attraction lines** — COMA ownership migrates, it never
   forks: an address may live in at most one running site's memory.
+* **directory coherence** — a settled directory shard entry may not name
+  a live non-owner while some other running site holds the object
+  (entries for dropped objects are fine; pointing at the wrong *live*
+  copy is how reads go wrong).
 * **frame conservation** — no running site still holds frames (memory or
   scheduler queues) of a program it knows to be terminated, and nothing
   is stuck in flight.
@@ -53,6 +57,7 @@ class InvariantChecker:
         out.extend(self._check_pauses())
         out.extend(self._check_recovery_settled())
         out.extend(self._check_single_owner())
+        out.extend(self._check_directory())
         out.extend(self._check_frame_conservation())
         out.extend(self._check_journal())
         return out
@@ -113,6 +118,33 @@ class InvariantChecker:
         return [Violation("single_owner",
                           f"address {addr} owned by sites {sites}")
                 for addr, sites in owners.items() if len(sites) > 1]
+
+    def _check_directory(self) -> List[Violation]:
+        """After the drain has settled every in-flight DIR_UPDATE, a shard
+        entry naming a live site as owner must agree with who actually
+        holds the object.  Entries for objects nobody holds any more are
+        allowed (drops and rollbacks leave tombstone-free garbage);
+        *mismatches* against a live copy are not — they would misroute
+        every future read.  Vacuously true for workloads that never
+        allocate objects (e.g. primes)."""
+        holder: Dict[Any, int] = {}
+        running = self._running_sites()
+        running_ids = {s.site_id for s in running}
+        for site in running:
+            for addr in site.attraction_memory.objects:
+                holder[addr] = site.site_id
+        out = []
+        for site in running:
+            for addr, (owner, _v, _e) in (
+                    site.attraction_memory.dir_entries.items()):
+                held_at = holder.get(addr)
+                if (held_at is not None and owner != held_at
+                        and owner in running_ids):
+                    out.append(Violation(
+                        "directory",
+                        f"shard {site.site_id} maps {addr} to site "
+                        f"{owner}, but site {held_at} holds it"))
+        return out
 
     def _check_frame_conservation(self) -> List[Violation]:
         out = []

@@ -123,6 +123,9 @@ class FaultPlan:
     #: whether the plan expects the program to finish with a correct
     #: result (False: completion-or-declared-failure is enough)
     expect_complete: bool = True
+    #: workload to run under the faults (see chaos.fuzz.WORKLOADS);
+    #: "memstress" exercises the sharded attraction-memory directory
+    workload: str = "primes"
     name: str = ""
     faults: List[Fault] = field(default_factory=list)
 
@@ -154,6 +157,7 @@ class FaultPlan:
                "ckpt_interval": self.ckpt_interval,
                "horizon": self.horizon,
                "expect_complete": self.expect_complete,
+               "workload": self.workload,
                "name": self.name,
                "faults": [asdict(f) for f in self.faults]}
         for f in doc["faults"]:
@@ -174,6 +178,7 @@ class FaultPlan:
                    ckpt_interval=doc.get("ckpt_interval", 0.2),
                    horizon=doc.get("horizon", 60.0),
                    expect_complete=doc.get("expect_complete", True),
+                   workload=doc.get("workload", "primes"),
                    name=doc.get("name", ""),
                    faults=[fault_from_dict(f)
                            for f in doc.get("faults", [])])
@@ -199,6 +204,7 @@ class FaultPlan:
                          ckpt_interval=self.ckpt_interval,
                          horizon=self.horizon,
                          expect_complete=self.expect_complete,
+                         workload=self.workload,
                          name=self.name, faults=list(faults))
 
 

@@ -8,10 +8,12 @@ exchanges heartbeats for crash detection.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.common.errors import ClusterError
-from repro.common.ids import ManagerId
+from repro.common.ids import GlobalAddress, ManagerId
+from repro.memory.directory import ShardMap
 from repro.messages import MsgType, SDMessage, make_reply
 from repro.cluster.id_allocation import (
     CentralAllocator,
@@ -38,6 +40,25 @@ class ClusterManager(Manager):
         self._deferred_signons: List[SDMessage] = []
         #: callbacks fired when a new site joins: fn(logical_id)
         self.on_site_joined: List[Callable[[int], None]] = []
+        #: callbacks fired when a site crashes or signs off: fn(logical_id)
+        self.on_site_departed: List[Callable[[int], None]] = []
+        #: consistent-hash ring mapping addresses to directory shard sites
+        self.shard_map = ShardMap()
+        #: incrementally maintained membership caches — rebuilt only on
+        #: join/departure, never per message or per gossip tick
+        self._sorted_alive_peers: List[int] = []
+        self._alive_records: Optional[List[SiteRecord]] = None
+        #: rotating window cursor for bounded victim/push sampling
+        self._pick_cursor = 0
+        #: per-peer time this site *started* watching it for liveness.
+        #: Membership churn shifts the heartbeat ring, so a peer can enter
+        #: our watch set with no heartbeat history at all — its silence is
+        #: our fault, not a crash, until a full timeout has passed.
+        self._watch_since: Dict[int, float] = {}
+        #: peers recently reported (first- or second-hand) to hold
+        #: stealable work — lets victim selection find the few busy sites
+        #: of a large cluster without scanning or sampling all of it
+        self._hot_peers: Dict[int, SiteRecord] = {}
 
     # ------------------------------------------------------------------
     # bootstrap / join
@@ -68,6 +89,7 @@ class ClusterManager(Manager):
             reliable=cfg.reliable,
             last_seen=self.kernel.now,
         )
+        self.shard_map.add_site(self.local_id)
 
     #: how long a joiner waits for its SIGN_ON_ACK before resending
     SIGN_ON_RETRY = 0.25
@@ -136,35 +158,84 @@ class ClusterManager(Manager):
         return record.physical
 
     def alive_peers(self) -> List[SiteRecord]:
-        return [r for r in self.sites.values()
+        """Alive peer records, cached between membership changes.
+
+        Callers iterate the returned list; they must not mutate it.
+        """
+        records = self._alive_records
+        if records is None:
+            records = self._alive_records = [
+                r for r in self.sites.values()
                 if r.alive and r.logical != self.local_id]
+        return records
+
+    def sorted_alive_ids(self) -> List[int]:
+        """Sorted alive peer ids, maintained incrementally on membership
+        change — O(1) per gossip tick instead of an O(n log n) rebuild."""
+        return self._sorted_alive_peers
+
+    def dir_site_for(self, addr: GlobalAddress) -> int:
+        """Directory shard site for ``addr`` (consistent-hash ring over
+        the alive membership).  Falls back to this site while the map is
+        empty (pre-sign-on window)."""
+        shard = self.shard_map.shard_for(addr)
+        return self.local_id if shard is None else shard
+
+    #: bounded candidate window for victim/push selection: clusters at or
+    #: below this size keep the full scan (bit-identical behaviour);
+    #: larger clusters scan a rotating window so each selection stays
+    #: O(1) in cluster size
+    PICK_SAMPLE = 16
+
+    def peer_sample(self) -> List[SiteRecord]:
+        """Alive peers to consider for one scheduling decision."""
+        peers = self.alive_peers()
+        k = self.PICK_SAMPLE
+        if len(peers) <= k:
+            return peers
+        start = self._pick_cursor % len(peers)
+        self._pick_cursor = start + k
+        window = peers[start:start + k]
+        if len(window) < k:
+            window = window + peers[:k - len(window)]
+        return window
 
     def pick_help_target(self, exclude: Iterable[int] = ()) -> Optional[int]:
         """Choose the peer most likely to have spare work (§4: "based on the
         data currently known about the other sites").
 
         Selection order: a peer with a *fresh* positive stealable-queue
-        figure (deepest queue wins), else a peer whose figures are stale or
+        figure (deepest queue wins) — drawn from the hot-peer cache first,
+        then the sample window — else a peer whose figures are stale or
         never heard (probing refreshes the view), else a fresh peer whose
         total load suggests work may surface soon.  When every fresh peer
         is known-empty, returns None so the scheduler backs off instead of
         paying a round trip for a guaranteed CANT_HELP.
         """
         excluded = set(exclude)
-        candidates = [r for r in self.alive_peers()
-                      if r.logical not in excluded]
-        if not candidates:
-            return None
         now = self.kernel.now
         staleness = self.config.scheduling.gossip_staleness
+        min_queue = self.config.scheduling.steal_min_queue
+        candidates = [r for r in self.peer_sample()
+                      if r.logical not in excluded]
         fresh = [r for r in candidates
                  if r.load_at >= 0 and now - r.load_at <= staleness]
-        min_queue = self.config.scheduling.steal_min_queue
         with_work = [r for r in fresh if r.queue >= min_queue]
+        # the hot cache sees every load report, not just the sample
+        # window: in a large cluster with few busy sites this is what
+        # keeps work discovery O(1) instead of O(sites) blind probing.
+        # (At <= PICK_SAMPLE peers the sample is the full peer list and
+        # already contains every hot record — behaviour is unchanged.)
+        seen = {r.logical for r in with_work}
+        with_work.extend(r for r in self.hot_peers()
+                         if r.logical not in excluded
+                         and r.logical not in seen)
         if with_work:
             best = max(r.queue for r in with_work)
             top = [r for r in with_work if r.queue >= best]
             return self.kernel.rng.choice(top).logical
+        if not candidates:
+            return None
         unknown = [r for r in candidates if r not in fresh]
         if unknown:
             return self.kernel.rng.choice(unknown).logical
@@ -179,7 +250,7 @@ class ClusterManager(Manager):
         """A peer known (freshly) to sit idle — the proactive-push target."""
         now = self.kernel.now
         staleness = self.config.scheduling.gossip_staleness
-        idle = [r for r in self.alive_peers()
+        idle = [r for r in self.peer_sample()
                 if r.load_at >= 0 and now - r.load_at <= staleness
                 and r.queue <= 0 and r.load < 1]
         if not idle:
@@ -195,6 +266,7 @@ class ClusterManager(Manager):
         if record is not None:
             record.queue += nframes
             record.load += nframes
+            self._note_hot(record)
 
     def note_load(self, logical: int, load: float,
                   queue: Optional[float] = None) -> None:
@@ -205,6 +277,71 @@ class ClusterManager(Manager):
                 record.queue = queue
             record.load_at = self.kernel.now
             record.last_seen = self.kernel.now
+            self._note_hot(record)
+
+    #: hot-peer cache bound — the busy minority of even a huge cluster
+    HOT_CAP = 32
+    #: best-known hot entries relayed per outgoing load report
+    RUMOR_FANOUT = 3
+
+    def _note_hot(self, record: SiteRecord) -> None:
+        """Track (or drop) ``record`` in the hot-peer cache after a load
+        figure changed."""
+        if (record.alive
+                and record.queue >= self.config.scheduling.steal_min_queue):
+            self._hot_peers[record.logical] = record
+            if len(self._hot_peers) > self.HOT_CAP:
+                evict = min(self._hot_peers.values(),
+                            key=lambda r: r.load_at)
+                del self._hot_peers[evict.logical]
+        else:
+            self._hot_peers.pop(record.logical, None)
+
+    def hot_peers(self) -> List[SiteRecord]:
+        """Peers with a fresh positive stealable-queue figure, regardless
+        of where in the membership the sample window currently points.
+        Prunes entries that died or went stale since they were noted."""
+        now = self.kernel.now
+        staleness = self.config.scheduling.gossip_staleness
+        min_queue = self.config.scheduling.steal_min_queue
+        stale = [logical for logical, r in self._hot_peers.items()
+                 if not r.alive or r.queue < min_queue
+                 or r.load_at < 0 or now - r.load_at > staleness]
+        for logical in stale:
+            del self._hot_peers[logical]
+        return list(self._hot_peers.values())
+
+    def hot_rumors(self) -> List[List[float]]:
+        """The deepest fresh queues this site knows of, as relayable
+        ``[logical, queue, load, age]`` rows.  Ages (not timestamps)
+        travel on the wire so receivers on other clocks can re-anchor
+        them locally."""
+        now = self.kernel.now
+        rows = [[r.logical, r.queue, r.load, now - r.load_at]
+                for r in self.hot_peers()]
+        rows.sort(key=lambda row: -row[1])
+        return rows[:self.RUMOR_FANOUT]
+
+    def note_load_rumor(self, logical: int, load: float, queue: float,
+                        age: float) -> None:
+        """Merge a second-hand load figure relayed by a peer's gossip.
+
+        Only fresher-than-known figures are applied, and ``last_seen`` is
+        deliberately *not* touched — liveness evidence stays first-hand
+        so a relayed rumor can never mask a real heartbeat failure."""
+        if logical == self.local_id:
+            return
+        record = self.sites.get(logical)
+        if record is None or not record.alive:
+            return
+        at = self.kernel.now - max(0.0, age)
+        if at <= record.load_at:
+            return
+        record.load = load
+        if queue >= 0:
+            record.queue = queue
+        record.load_at = at
+        self._note_hot(record)
 
     def observe(self, logical: int) -> None:
         record = self.sites.get(logical)
@@ -236,10 +373,42 @@ class ClusterManager(Manager):
             if tr is not None:
                 tr.emit(self.kernel.now, self.local_id, "site_join",
                         incoming.logical)
-            for callback in self.on_site_joined:
-                callback(incoming.logical)
+            if incoming.alive:
+                self._note_joined(incoming.logical)
         else:
+            was_alive = existing.alive
             existing.merge_newer(incoming)
+            if was_alive and not existing.alive:
+                # merge_newer can learn of a death via gossiped records,
+                # which bypasses mark_dead/_on_sign_off — the membership
+                # caches and the shard ring must still be told
+                self._note_departed(existing.logical)
+
+    def _note_joined(self, logical: int) -> None:
+        """A peer became a live member: update the incremental caches,
+        extend the directory ring, and fire the join hooks."""
+        index = bisect_left(self._sorted_alive_peers, logical)
+        if (index >= len(self._sorted_alive_peers)
+                or self._sorted_alive_peers[index] != logical):
+            insort(self._sorted_alive_peers, logical)
+        self._alive_records = None
+        self.shard_map.add_site(logical)
+        for callback in self.on_site_joined:
+            callback(logical)
+
+    def _note_departed(self, logical: int) -> None:
+        """A live member crashed or signed off: shrink the caches and the
+        directory ring, then fire the departure hooks (scheduler state
+        cleanup, directory rebalancing)."""
+        index = bisect_left(self._sorted_alive_peers, logical)
+        if (index < len(self._sorted_alive_peers)
+                and self._sorted_alive_peers[index] == logical):
+            self._sorted_alive_peers.pop(index)
+        self._alive_records = None
+        self._hot_peers.pop(logical, None)
+        self.shard_map.remove_site(logical)
+        for callback in self.on_site_departed:
+            callback(logical)
 
     # ------------------------------------------------------------------
     # message handling
@@ -423,9 +592,12 @@ class ClusterManager(Manager):
         heir = msg.payload["heir"]
         record = self.sites.get(leaver)
         if record is not None:
+            was_alive = record.alive
             record.alive = False
             record.left = True
             record.heir = heir
+            if was_alive:
+                self._note_departed(leaver)
         self.stats.inc("sign_offs_seen")
         tr = self.tracer
         if tr is not None:
@@ -447,7 +619,25 @@ class ClusterManager(Manager):
             if tr is not None and not left:
                 tr.emit(self.kernel.now, self.local_id, "site_dead",
                         logical)
+            # caches, shard ring, and departure hooks first: recovery and
+            # directory rebalancing below must see the new membership
+            self._note_departed(logical)
             self.site.crash_manager.on_site_dead(logical, orderly=left)
+
+    def note_record_dead(self, logical: int,
+                         heir: Optional[int] = None) -> None:
+        """Record a death learned from a recovery wave, *without* invoking
+        the crash manager — the coordinator that sent RECOVER_BEGIN is
+        already handling it, and starting a competing recovery here would
+        interleave epochs.  Caches, the shard ring, and departure hooks
+        still fire so directory/scheduler state converges."""
+        record = self.sites.get(logical)
+        if record is not None:
+            was_alive = record.alive
+            record.alive = False
+            record.heir = heir
+            if was_alive:
+                self._note_departed(logical)
 
     # -- orderly departure ---------------------------------------------------
     def choose_heir(self) -> Optional[int]:
@@ -490,15 +680,26 @@ class ClusterManager(Manager):
             return
         load = self.site.site_manager.current_load()
         queue = float(self.site.scheduling_manager.stealable_depth())
-        for peer in self.alive_peers():
+        for logical in self._heartbeat_targets():
             self.site.message_manager.send(SDMessage(
                 type=MsgType.HEARTBEAT,
                 src_site=self.local_id, src_manager=ManagerId.CLUSTER,
-                dst_site=peer.logical, dst_manager=ManagerId.CLUSTER,
+                dst_site=logical, dst_manager=ManagerId.CLUSTER,
                 payload={"load": load, "queue": queue},
             ))
         self._check_liveness()
         self._schedule_heartbeat()
+
+    def _heartbeat_targets(self) -> List[int]:
+        """Full mesh by default; with ``heartbeat_fanout`` k > 0, the k
+        ring successors in sorted-id order (every site is then watched by
+        exactly its k predecessors instead of all n-1 peers)."""
+        fanout = self.config.cluster.heartbeat_fanout
+        ids = self._sorted_alive_peers
+        if fanout <= 0 or len(ids) <= fanout:
+            return [r.logical for r in self.alive_peers()]
+        start = bisect_left(ids, self.local_id)
+        return [ids[(start + i) % len(ids)] for i in range(fanout)]
 
     def _on_heartbeat(self, msg: SDMessage) -> None:
         self.note_load(msg.src_site, msg.payload.get("load", 0.0),
@@ -507,14 +708,43 @@ class ClusterManager(Manager):
     def _check_liveness(self) -> None:
         timeout = self.config.cluster.heartbeat_timeout
         now = self.kernel.now
-        for record in list(self.sites.values()):
+        watched = self._watched_records()
+        # re-base the grace window when the watch set shifts: a ring
+        # change hands us peers that have never heartbeated here (their
+        # target set shifted at the same moment), so their old silence
+        # is not evidence — only silence *since we started watching* is
+        current = {record.logical for record in watched}
+        for gone in [logical for logical in self._watch_since
+                     if logical not in current]:
+            del self._watch_since[gone]
+        for record in watched:
+            since = self._watch_since.setdefault(record.logical, now)
             if (record.alive and record.logical != self.local_id
-                    and now - record.last_seen > timeout):
+                    and now - max(record.last_seen, since) > timeout):
                 self.log("site %d missed heartbeats; declaring crashed",
                          record.logical)
                 self.stats.inc("crashes_detected")
                 self.mark_dead(record.logical, left=False)
                 self._broadcast_crash_notice(record.logical)
+
+    def _watched_records(self) -> List[SiteRecord]:
+        """Peers whose silence this site is responsible for noticing.
+
+        Mirrors :meth:`_heartbeat_targets`: with a fanout only the ring
+        predecessors heartbeat *to* us, so only their records are checked
+        — any other peer's silence here is expected, not a crash.
+        """
+        fanout = self.config.cluster.heartbeat_fanout
+        ids = self._sorted_alive_peers
+        if fanout <= 0 or len(ids) <= fanout:
+            return list(self.sites.values())
+        start = bisect_left(ids, self.local_id)
+        watched = []
+        for i in range(fanout):
+            record = self.sites.get(ids[(start - 1 - i) % len(ids)])
+            if record is not None:
+                watched.append(record)
+        return watched
 
     def _broadcast_crash_notice(self, logical: int) -> None:
         """Tell everyone else so detection is cluster-wide."""

@@ -86,9 +86,27 @@ class CrashManager(Manager):
         if not self.site.running:
             return
         if (self.is_coordinator() and not self._recovering
-                and self.site.program_manager.has_active_programs()):
+                and self.site.program_manager.has_active_programs()
+                and not self._wave_blocking()):
             self.start_checkpoint()
         self._schedule_wave()
+
+    def _wave_blocking(self) -> bool:
+        """True while the in-flight wave should hold off the next one.
+
+        Collecting n snapshot messages is O(n) wire time, so past a
+        couple hundred sites a wave outlives the tick interval — naively
+        restarting every tick would supersede it forever and no
+        checkpoint would EVER commit (then the first real crash fails
+        every program for want of a checkpoint).  A wave stuck past the
+        grace window (e.g. a participant left mid-wave without a crash
+        being declared) must not wedge checkpointing either, so an aged
+        wave stops blocking and the next tick supersedes it.
+        """
+        if not self._acks_pending and not self._states_pending:
+            return False
+        age = self.kernel.now - self._wave_started_at
+        return age < 5.0 * self.config.checkpoint.interval
 
     def start_checkpoint(self) -> None:
         """Coordinator: begin a checkpoint wave across all alive sites."""
@@ -412,11 +430,11 @@ class CrashManager(Manager):
         self._pending_ack = None
         dead = payload["dead"]
         heir = payload["heir"]
-        record = self.site.cluster_manager.sites.get(dead)
-        if record is not None:
-            record.alive = False
-            record.heir = heir
+        # reset before recording the death: the membership hooks republish
+        # owned directory state, and pre-rollback state must not leak into
+        # the post-recovery directory
         self.site.reset_program_state()
+        self.site.cluster_manager.note_record_dead(dead, heir)
         return True
 
     def _distribute_snapshot(self, dead: int, alive: Set[int],

@@ -37,10 +37,11 @@ class MsgType(enum.IntEnum):
     MEM_WRITE = 33             # update a memory object
     MEM_MIGRATE = 34           # move object ownership to requester
     MEM_OBJECT = 35            # object transfer (migration payload)
-    MEM_LOCATION = 36          # homesite redirect: "object now lives at X"
-    MEM_HOME_UPDATE = 37       # current owner informs homesite directory
+    MEM_LOCATION = 36          # directory redirect: "object now lives at X"
+    DIR_UPDATE = 37            # owner publishes ownership to the dir shard
     FRAME_TRANSFER = 38        # a microframe migrates (help reply / relocation)
     MEM_NOT_FOUND = 39
+    DIR_ACK = 40               # dir shard acknowledges a DIR_UPDATE
 
     # -- cluster membership (§3.4, §4 cluster manager)
     SIGN_ON = 50               # join request to a known site

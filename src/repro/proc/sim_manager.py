@@ -159,6 +159,11 @@ class SimProcessingManager(Manager):
 
     def _complete(self, frame: Microframe, ctx: SimExecutionContext,
                   epoch: int) -> None:
+        if self.site.stopped:
+            # the site died mid-execution: a dead site commits nothing —
+            # without this, its already-scheduled completion would still
+            # dispatch effects (writes, results) from beyond the grave
+            return
         if epoch != self.site.epoch:
             # execution straddled a recovery; its effects are rolled back
             self.stats.inc("stale_epoch_discarded")

@@ -119,14 +119,46 @@ class ProgramManager(Manager):
             self.site.code_manager.prefetch_program(info)
         return info
 
+    #: relay-tree arity for the PROGRAM_REGISTER fan-out
+    _RELAY_ARITY = 8
+
     def _broadcast_registration(self, info: ProgramInfo) -> None:
-        for peer in self.site.cluster_manager.alive_peers():
+        targets = list(self.site.cluster_manager.sorted_alive_ids())
+        self._relay_registration(info.to_wire(), targets, info.pid)
+
+    def _relay_registration(self, wire: dict, targets: list,
+                            pid: int) -> None:
+        """Fan a PROGRAM_REGISTER out as a relay tree of arity 8.
+
+        Each chunk head receives the program info plus its chunk's tail
+        and relays onward after learning it — O(1) messages per site and
+        O(log n) registration latency, instead of the old O(n) direct
+        fan-out that made the starting site the bottleneck on large
+        clusters.  A dead head orphans only its subtree, and any frame
+        or steal that later reaches an orphan carries the program info
+        anyway (§4's list-update-on-access rule is the backstop).
+
+        PROGRAM_TERMINATED deliberately stays a direct fan-out: a missed
+        termination wedges run-to-quiescence, so it does not ride a tree
+        whose inner nodes may crash.
+        """
+        if not targets:
+            return
+        if len(targets) <= self._RELAY_ARITY:
+            chunks = [[t] for t in targets]
+        else:
+            chunks = [targets[i::self._RELAY_ARITY]
+                      for i in range(self._RELAY_ARITY)]
+        for chunk in chunks:
+            payload = {"info": wire}
+            if len(chunk) > 1:
+                payload["relay"] = chunk[1:]
             self.site.message_manager.send(SDMessage(
                 type=MsgType.PROGRAM_REGISTER,
                 src_site=self.local_id, src_manager=ManagerId.PROGRAM,
-                dst_site=peer.logical, dst_manager=ManagerId.PROGRAM,
-                program=info.pid,
-                payload={"info": info.to_wire()},
+                dst_site=chunk[0], dst_manager=ManagerId.PROGRAM,
+                program=pid,
+                payload=payload,
             ))
 
     def learn_program_wire(self, wire: dict) -> ProgramInfo:
@@ -233,6 +265,12 @@ class ProgramManager(Manager):
     def handle(self, msg: SDMessage) -> None:
         if msg.type == MsgType.PROGRAM_REGISTER:
             info = self.learn_program_wire(msg.payload["info"])
+            relay = msg.payload.get("relay")
+            if relay:
+                cm = self.site.cluster_manager
+                live = [t for t in relay
+                        if cm.physical_of(cm.effective_site(t)) is not None]
+                self._relay_registration(msg.payload["info"], live, info.pid)
             if not info.terminated:
                 # a new program means new work somewhere: wake the
                 # (possibly dormant) scheduler to go steal some

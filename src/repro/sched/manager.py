@@ -57,6 +57,10 @@ class SchedulingManager(Manager):
         self._gossip_cursor = 0
         #: guards against pushing frames we are adopting right now
         self._adopting = False
+        # per-peer state (cooldown, in-flight fence, parked thieves) must
+        # not outlive the peer: departed sites would otherwise accumulate
+        # forever in long-lived clusters
+        site.cluster_manager.on_site_departed.append(self._on_peer_departed)
 
     # ------------------------------------------------------------------
     # intake
@@ -288,18 +292,24 @@ class SchedulingManager(Manager):
             # the refusal taught us only that *this* victim was drained,
             # not that the cluster is: an idle thief whose load view
             # still shows a fresh deep queue elsewhere re-targets it now
-            # instead of sitting out the backoff delay.  Self-limiting:
-            # the refuser just went on cooldown and its piggybacked
-            # queue figure stops it counting as deep.
-            if self._pm_hungry and not self._inflight_helps:
+            # instead of sitting out the backoff delay.  Self-limiting in
+            # a small cluster: the refuser just went on cooldown and its
+            # piggybacked queue figure stops it counting as deep.  In a
+            # large cluster this eager re-targeting is NOT self-limiting
+            # — rumor-fed load views nearly always show a deep queue
+            # somewhere, so resetting the backoff here melts every
+            # refusal into an RTT-rate beg loop; past the sample size,
+            # thieves sit out their backoff and rely on the (gated)
+            # gossip wake-ups instead.
+            cm = self.site.cluster_manager
+            if (self._pm_hungry and not self._inflight_helps
+                    and len(cm.alive_peers()) <= cm.PICK_SAMPLE):
                 cfg = self.config.scheduling
                 now = self.kernel.now
-                cm = self.site.cluster_manager
-                if any(r.alive and r.logical != self.local_id
-                       and now - r.load_at <= cfg.gossip_staleness
+                if any(now - r.load_at <= cfg.gossip_staleness
                        and r.queue >= cfg.steal_min_queue
                        and self._cooldown.get(r.logical, 0.0) <= now
-                       for r in cm.sites.values()):
+                       for r in cm.peer_sample()):
                     if self._help_timer is not None:
                         self.kernel.cancel(self._help_timer)
                         self._help_timer = None
@@ -356,6 +366,25 @@ class SchedulingManager(Manager):
             self._help_backoff = 1.0
             self._cooldown.pop(msg.src_site, None)
 
+    def _on_peer_departed(self, logical: int) -> None:
+        """Membership hook: drop all per-peer scheduler state for a site
+        that crashed or signed off."""
+        self._cooldown.pop(logical, None)
+        stale = [seq for seq, req in self._inflight_helps.items()
+                 if req.target == logical]
+        for seq in stale:
+            del self._inflight_helps[seq]
+            self.stats.inc("help_targets_departed")
+        if stale:
+            # don't wait out the request timeout to re-target
+            self._schedule_retry()
+        dead_parks = [rseq for rseq, (msg, _t) in self._parked_helps.items()
+                      if int(msg.payload.get("thief", msg.src_site)) == logical]
+        for rseq in dead_parks:
+            _msg, timer = self._parked_helps.pop(rseq)
+            self.kernel.cancel(timer)
+            self.stats.inc("help_parks_dropped_dead")
+
     def _schedule_retry(self) -> None:
         if self._help_timer is not None:
             return
@@ -366,8 +395,13 @@ class SchedulingManager(Manager):
         # the ceiling can sit well above the old 8x now that gossip
         # wake-ups re-arm a backed-off thief the moment any peer's queue
         # deepens: blind retries into a drained cluster only pad the
-        # CANT_HELP count, they don't discover work faster than gossip
-        self._help_backoff = min(self._help_backoff * 1.5, 20.0)
+        # CANT_HELP count, they don't discover work faster than gossip.
+        # Past the sample size the ceiling grows with the cluster, so the
+        # aggregate blind-retry rate hitting the few busy sites stays
+        # constant instead of scaling O(sites)
+        cm = self.site.cluster_manager
+        ceiling = max(20.0, float(len(cm.alive_peers())))
+        self._help_backoff = min(self._help_backoff * 1.5, ceiling)
         self._help_timer = self.kernel.call_later(delay, self._retry_tick)
 
     def _retry_tick(self) -> None:
@@ -450,8 +484,12 @@ class SchedulingManager(Manager):
         thief = int(msg.payload.get("thief", msg.src_site))
         now = self.kernel.now
         staleness = self.config.scheduling.gossip_staleness
+        cm = self.site.cluster_manager
         best = None
-        for r in self.site.cluster_manager.alive_peers():
+        # hot-cache candidates ride along so a referral can point outside
+        # the sample window; at small cluster sizes they are the same
+        # records the sample already yielded and change nothing
+        for r in (*cm.peer_sample(), *cm.hot_peers()):
             if r.logical in (thief, msg.src_site):
                 continue
             if (r.load_at >= 0 and now - r.load_at <= staleness
@@ -517,6 +555,11 @@ class SchedulingManager(Manager):
                                 if cfg.help_reply_policy == "lifo"
                                 else self.ready.popleft())
             frames.append(frame)
+        if not frames:
+            # nothing actually takeable: an empty HELP_REPLY would read
+            # as generosity (backoff reset) — refuse honestly instead
+            self._cant_help(msg, self.site.site_manager.current_load())
+            return
         thief = int(msg.payload.get("thief", msg.src_site))
         tr = self.tracer
         if tr is not None:
@@ -619,27 +662,63 @@ class SchedulingManager(Manager):
 
     def _on_load_report(self, msg: SDMessage) -> None:
         self.stats.inc("gossip_received")
-        self.site.cluster_manager.note_load(
+        cm = self.site.cluster_manager
+        cm.note_load(
             msg.src_site, msg.payload.get("load", msg.src_load),
             queue=msg.payload.get("queue", msg.src_queue))
         queue = msg.payload.get("queue", msg.src_queue)
+        # second-hand rumors: the deepest queues the sender knows of.
+        # Epidemic relay spreads "site X has work" in O(log sites)
+        # gossip rounds, where first-hand reports alone need O(sites /
+        # fanout) ticks to reach everyone — the difference between a
+        # 256-site cluster finding its one busy site now or begging
+        # blindly until then.  Rumors deliberately do NOT clear
+        # cooldowns: a thief this victim already refused stays backed
+        # off, otherwise every gossip round re-arms the whole cluster
+        # into a synchronized stampede.
+        best_rumor = 0.0
+        for row in msg.payload.get("hot", ()):
+            logical, rqueue = int(row[0]), float(row[1])
+            if logical == self.local_id:
+                continue
+            cm.note_load_rumor(logical, float(row[2]), rqueue,
+                               float(row[3]))
+            best_rumor = max(best_rumor, rqueue)
         # the steal_min_queue dampener assumes a queue-1 victim will run
         # the frame itself before a request lands — the right bet for a
         # prefetching thief, the wrong one for a site with empty lanes
         # in the drain phase, where single-frame bursts are all there is
         wake_at = (1 if self._pm_hungry
                    else self.config.scheduling.steal_min_queue)
-        if queue is not None and queue >= wake_at:
-            # the sender has stealable work: fresh positive evidence beats
-            # stale failure memory, so take it off cooldown and drop the
-            # backoff a streak of startup CANT_HELPs built up, then react
-            # now instead of waiting out the retry timer
-            self._cooldown.pop(msg.src_site, None)
+        direct = queue is not None and queue >= wake_at
+        if direct or best_rumor >= wake_at:
+            if direct:
+                # the sender has stealable work: fresh positive first-hand
+                # evidence beats stale failure memory, so take it off
+                # cooldown and drop the backoff a streak of startup
+                # CANT_HELPs built up, then react now instead of waiting
+                # out the retry timer
+                self._cooldown.pop(msg.src_site, None)
+            elif not self._rumor_wakes_me(cm, best_rumor):
+                # rumor-only wake in a large cluster: the rumor reaches
+                # nearly everyone within a round, so waking every idle
+                # site would bury the busy one under O(sites) begs per
+                # frame.  A random gate sizes the responders to the
+                # advertised depth instead.
+                self._maybe_push()
+                return
             self._help_backoff = 1.0
             self._maybe_help()
         else:
             # the sender is idle: maybe shed some surplus onto it
             self._maybe_push()
+
+    def _rumor_wakes_me(self, cm, best_rumor: float) -> bool:  # noqa: ANN001
+        npeers = len(cm.alive_peers())
+        if npeers <= cm.PICK_SAMPLE:
+            return True
+        chance = min(1.0, 4.0 * best_rumor / npeers)
+        return self.kernel.rng.random() < chance
 
     def _gossip_tick(self) -> None:
         self._gossip_timer = None
@@ -650,22 +729,33 @@ class SchedulingManager(Manager):
             return
         if (not self.site.paused and not self.site.sleeping
                 and self.site.program_manager.has_active_programs()):
-            peers = sorted(r.logical
-                           for r in self.site.cluster_manager.alive_peers())
+            # incrementally maintained by the cluster manager — the old
+            # per-tick rebuild+sort was O(sites log sites) on every site
+            peers = self.site.cluster_manager.sorted_alive_ids()
             fanout = min(self.config.cluster.gossip_fanout, len(peers))
             if fanout > 0:
                 start = self._gossip_cursor % len(peers)
                 self._gossip_cursor += fanout
                 queue = float(self.stealable_depth())
                 load = self.site.site_manager.current_load()
+                cm = self.site.cluster_manager
+                # rumors only pay off past the sample window; below it
+                # every peer is already in everyone's sample, and a
+                # silent wire keeps small-cluster runs bit-identical
+                rumors = (cm.hot_rumors()
+                          if len(peers) > cm.PICK_SAMPLE else [])
                 for i in range(fanout):
                     peer = peers[(start + i) % len(peers)]
+                    payload = {"load": load, "queue": queue}
+                    hot = [row for row in rumors if row[0] != peer]
+                    if hot:
+                        payload["hot"] = hot
                     self.site.message_manager.send(SDMessage(
                         type=MsgType.LOAD_REPORT,
                         src_site=self.local_id,
                         src_manager=ManagerId.SCHEDULING,
                         dst_site=peer, dst_manager=ManagerId.SCHEDULING,
-                        payload={"load": load, "queue": queue},
+                        payload=payload,
                     ))
                     self.stats.inc("gossip_sent")
         self._gossip_timer = self.kernel.call_later(interval,

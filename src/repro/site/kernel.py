@@ -91,7 +91,7 @@ class CpuModel:
 
     __slots__ = ("_sim", "speed", "slowdown", "_jobs", "_seq",
                  "_last_update", "_completion_event", "_target_time",
-                 "busy_total", "overhead_total")
+                 "_min_remaining", "busy_total", "overhead_total")
 
     def __init__(self, sim: "Any", speed: float) -> None:
         if speed <= 0:
@@ -114,6 +114,11 @@ class CpuModel:
         #: so the shared-progress arithmetic below is unaffected by when
         #: (or how often) stale wake-ups happen.
         self._target_time = None
+        #: cached min over ``job[0]`` — every job decays by the same
+        #: ``share`` in :meth:`_advance` (and correctly-rounded
+        #: subtraction is monotone, so the min job stays the min job),
+        #: which keeps this bitwise equal to a fresh scan without one
+        self._min_remaining = None
         #: total CPU-seconds consumed
         self.busy_total = 0.0
         #: CPU-seconds spent on protocol overhead (vs. microthread compute)
@@ -134,6 +139,8 @@ class CpuModel:
             job[0] -= share
             if job[4]:
                 self.overhead_total += share
+        if self._min_remaining is not None:
+            self._min_remaining -= share
 
     def _reschedule(self) -> None:
         """Re-aim the completion event at the earliest job completion.
@@ -150,15 +157,12 @@ class CpuModel:
         event = self._completion_event
         if not jobs:
             self._target_time = None
+            self._min_remaining = None
             if event is not None:
                 event.cancel()
                 self._completion_event = None
             return
-        shortest = jobs[0][0]
-        for job in jobs:
-            remaining = job[0]
-            if remaining < shortest:
-                shortest = remaining
+        shortest = self._min_remaining
         if shortest < 0.0:
             shortest = 0.0
         target = self._sim.now + shortest * len(jobs)
@@ -189,7 +193,10 @@ class CpuModel:
         finished = [job for job in self._jobs if job[0] <= 1e-12]
         if finished:
             finished.sort(key=lambda job: job[1])  # admission order
-            self._jobs = [job for job in self._jobs if job[0] > 1e-12]
+            survivors = [job for job in self._jobs if job[0] > 1e-12]
+            self._jobs = survivors
+            self._min_remaining = (min(job[0] for job in survivors)
+                                   if survivors else None)
             for job in finished:
                 if job[2] is not None:
                     job[2](*job[3])
@@ -209,6 +216,8 @@ class CpuModel:
         self._advance()
         self._jobs.append([seconds, self._seq, fn, args, overhead])
         self._seq += 1
+        if self._min_remaining is None or seconds < self._min_remaining:
+            self._min_remaining = seconds
         self._reschedule()
 
     def charge(self, seconds: float, overhead: bool = True) -> None:

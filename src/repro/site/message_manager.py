@@ -195,7 +195,7 @@ class MessageManager(Manager):
     _FORWARDABLE = frozenset({
         MsgType.APPLY_RESULT, MsgType.FRAME_TRANSFER, MsgType.MEM_READ,
         MsgType.MEM_WRITE, MsgType.MEM_MIGRATE, MsgType.MEM_OBJECT,
-        MsgType.MEM_HOME_UPDATE, MsgType.CODE_REQUEST,
+        MsgType.DIR_UPDATE, MsgType.CODE_REQUEST,
         MsgType.CODE_PUSH_BINARY, MsgType.HELP_REQUEST, MsgType.SIGN_ON,
         MsgType.PROGRAM_REGISTER, MsgType.IO_OUTPUT,
     })

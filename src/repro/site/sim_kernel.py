@@ -23,10 +23,11 @@ class SharedSimState:
     def __init__(self, sim: Simulator, network: SimNetwork) -> None:
         self.sim = sim
         self.network = network
-        #: global-object directory: packed address -> (owner_site, value).
+        #: global-object oracle: packed address -> (owner, value, version).
         #: Sim-only shortcut for the attraction-memory *read* path; the
-        #: migration/ownership bookkeeping and its latency costs are real.
-        self.objects: Dict[int, Tuple[int, Any]] = {}
+        #: migration/ownership bookkeeping, the DIR_UPDATE traffic to the
+        #: sharded directory, and the latency costs are all real.
+        self.objects: Dict[int, Tuple[int, Any, int]] = {}
         #: cluster-wide virtual filesystem: path -> bytearray
         self.vfs: Dict[str, bytearray] = {}
         #: logical site id -> SDVMSite, for facade inspection only

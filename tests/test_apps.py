@@ -11,7 +11,9 @@ from repro.apps import (
     build_primes_program,
     build_primes_rounds_program,
     build_stencil_program,
+    build_treesum_program,
     first_n_primes,
+    treesum_expected,
 )
 from repro.apps.matmul import reference_multiply
 from repro.apps.mergesort import generate_input
@@ -141,3 +143,30 @@ class TestStencil:
         checksum, _delta = handle.result
         ref_checksum, _ref_delta = reference_stencil(16, 30)
         assert checksum == pytest.approx(ref_checksum)
+
+
+class TestTreesum:
+    @pytest.mark.parametrize("nsites", [1, 4])
+    def test_sum_correct(self, nsites, fast_config):
+        app = build_treesum_program()
+        _c, handle = run(app, (64, 50.0), nsites, fast_config)
+        assert handle.result == treesum_expected(64)
+        assert handle.output() == [f"treesum: {treesum_expected(64)}"]
+
+    def test_non_power_of_two_leaves(self, fast_config):
+        app = build_treesum_program()
+        _c, handle = run(app, (37, 50.0), 2, fast_config)
+        assert handle.result == treesum_expected(37)
+
+    def test_zero_leaves_exits_cleanly(self, fast_config):
+        app = build_treesum_program()
+        _c, handle = run(app, (0, 50.0), 1, fast_config)
+        assert handle.result == 0
+
+    def test_spawn_tree_spreads_work(self, fast_config):
+        # the point of the app: every site ends up executing leaves
+        app = build_treesum_program()
+        cluster, handle = run(app, (256, 500.0), 4, fast_config)
+        assert handle.result == treesum_expected(256)
+        per_site = [s.kernel.cpu.busy_total for s in cluster.sites]
+        assert all(busy > 0 for busy in per_site)

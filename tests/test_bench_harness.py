@@ -156,5 +156,6 @@ class TestCompareMetrics:
 class TestGateSuitesRegistry:
     def test_suites_registered(self):
         from repro.bench import GATE_SUITES
-        assert set(GATE_SUITES) == {"primes_speedup", "overhead_1site"}
+        assert set(GATE_SUITES) == {"primes_speedup", "overhead_1site",
+                                    "scaling"}
         assert all(callable(fn) for fn in GATE_SUITES.values())

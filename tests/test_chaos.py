@@ -94,7 +94,8 @@ class TestCorpus:
         assert {"crash_during_wave.json", "crash_during_recovery.json",
                 "coordinator_crash.json", "partition_then_heal.json",
                 "duplicate_delivery.json", "lossy_recovery.json",
-                "steal_batch_reorder.json"} <= names
+                "steal_batch_reorder.json",
+                "dir_shard_crash.json"} <= names
 
     @pytest.mark.parametrize(
         "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
@@ -144,6 +145,18 @@ class TestCorpus:
         assert stats.get("steals_in").count > 0
         first, second = verify_determinism(corpus_plan("steal_batch_reorder"))
         assert first and first == second
+
+    def test_dir_shard_crash_rehomes_directory(self):
+        """Sharded-directory regression: crash a site holding both memory
+        objects and directory shard entries while the memstress workload
+        is migrating objects between sites.  Recovery must rehome the
+        shard space, keep ownership single, and replayed reads must see
+        the rolled-back object values (the exact final sum checks it)."""
+        result = run_plan(corpus_plan("dir_shard_crash"))
+        assert result.ok, [str(v) for v in result.violations]
+        stats = result.cluster.total_stats()
+        assert stats.get("migrations_in").count > 0
+        assert stats.get("dir_updates_applied").count > 0
 
     def test_duplicate_delivery_does_not_double_commit(self):
         result = run_plan(corpus_plan("duplicate_delivery"))
@@ -243,3 +256,28 @@ class TestChaosCli:
         out = io.StringIO()
         assert main(["chaos", "run", plan_path], out=out) == 1
         assert "FAIL" in out.getvalue()
+
+
+class TestBigClusterChaos:
+    def test_256_sites_survive_crash_with_invariants(self):
+        """Scaling-era regression: a 256-site cluster — sixteen times the
+        gossip sample window, directory sharded across every site — must
+        finish the treesum workload and pass the full invariant audit
+        after losing a site mid-run (single ownership, no lost frames,
+        exact result).  Pins two scaling-era fixes: checkpoint waves
+        deferring instead of superseding (no wave ever committed past
+        ~100 sites, so any crash failed the program) and the heartbeat
+        watch-set grace window (a ring shift after a death used to make
+        watchers declare never-heard-from live peers dead, cascading
+        false crashes around the ring)."""
+        plan = FaultPlan(seed=31, nsites=256, workload="treesum",
+                         horizon=120.0,
+                         faults=[CrashFault(at=0.55, site=17)])
+        result = run_plan(plan, progress_timeout=120.0)
+        assert result.ok, [str(v) for v in result.violations]
+        stats = result.cluster.total_stats()
+        # exactly the injected crash recovered — no cascading false
+        # suspicions inflating the count
+        assert stats.get("recoveries").count == 1
+        # waves commit at scale despite O(sites) collection time
+        assert stats.get("checkpoints_committed").count >= 1

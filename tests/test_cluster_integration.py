@@ -171,3 +171,30 @@ class TestHeartbeats:
         record = cluster.sites[0].cluster_manager.sites[victim_id]
         assert not record.alive
         assert not record.left  # crash, not orderly departure
+
+    def test_fanout_ring_shift_grants_grace_to_new_watchees(self):
+        """Scaling-era regression: with ``heartbeat_fanout`` only the k
+        ring predecessors heartbeat to each site.  A death shifts the
+        ring, handing nearby watchers a peer they have *never* heard
+        from; before the watch-since grace window such a peer was
+        declared dead at the very next liveness check, cascading false
+        crashes around the ring (observed at 256 sites: one real crash
+        snowballed into 69 recoveries)."""
+        config = SDVMConfig(cluster=ClusterConfig(
+            heartbeats_enabled=True, heartbeat_interval=0.05,
+            heartbeat_timeout=0.2, heartbeat_fanout=2))
+        cluster = SimCluster(nsites=12, config=config)
+        cluster.sim.run(until=0.5)
+        watcher = cluster.sites[6].cluster_manager
+        # site 5 dies: watcher 6's watch set shifts {5, 4} -> {4, 3}
+        cluster.sites[5].crash()
+        watcher.mark_dead(5, left=False)
+        # simulate a cold pair: 3 has never sent anything to 6
+        watcher.sites[3].last_seen = 0.0
+        watcher._check_liveness()
+        assert watcher.sites[3].alive, (
+            "silence predating the watch is not evidence of a crash")
+        # silence *since the watch started* must still detect for real
+        watcher._watch_since[3] = 0.0
+        watcher._check_liveness()
+        assert not watcher.sites[3].alive

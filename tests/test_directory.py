@@ -1,0 +1,187 @@
+"""Tests for the consistent-hash sharded attraction-memory directory.
+
+Covers the ShardMap itself (determinism, stability under membership
+churn), the DIR_UPDATE protocol (epoch fencing, rebalancing on join and
+departure), and the regression the sharded design was built against:
+losing the ownership record when the creating site dies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import MemoryFault
+from repro.common.ids import GlobalAddress, ManagerId
+from repro.memory.directory import ShardMap
+from repro.messages import MsgType, SDMessage
+from repro.site.simcluster import SimCluster
+
+
+# ---------------------------------------------------------------------------
+# ShardMap unit tests
+
+def _addrs(n, site=0):
+    return [GlobalAddress(site, i + 1) for i in range(n)]
+
+
+class TestShardMap:
+    def test_deterministic_and_order_independent(self):
+        a = ShardMap([0, 1, 2, 3])
+        b = ShardMap([3, 1, 0, 2])
+        for addr in _addrs(200):
+            assert a.shard_for(addr) == b.shard_for(addr)
+
+    def test_covers_all_members(self):
+        smap = ShardMap(range(8))
+        hit = {smap.shard_for(addr) for addr in _addrs(2000)}
+        assert hit == set(range(8))
+
+    def test_empty_map_has_no_shard(self):
+        assert ShardMap().shard_for(GlobalAddress(0, 1)) is None
+
+    def test_join_moves_bounded_fraction(self):
+        """Adding one site to 16 must remap roughly 1/17 of the keys,
+        not reshuffle the world — the consistent-hashing property."""
+        before = ShardMap(range(16))
+        addrs = _addrs(3000)
+        old = {addr: before.shard_for(addr) for addr in addrs}
+        before.add_site(16)
+        moved = sum(1 for addr in addrs if before.shard_for(addr) != old[addr])
+        assert 0 < moved < len(addrs) * 0.25
+
+    def test_leave_only_remaps_departed_sites_keys(self):
+        smap = ShardMap(range(16))
+        addrs = _addrs(3000)
+        old = {addr: smap.shard_for(addr) for addr in addrs}
+        smap.remove_site(5)
+        for addr in addrs:
+            new = smap.shard_for(addr)
+            assert new != 5
+            if old[addr] != 5:
+                assert new == old[addr]
+
+    def test_add_remove_round_trip_restores_mapping(self):
+        smap = ShardMap(range(8))
+        addrs = _addrs(500)
+        old = {addr: smap.shard_for(addr) for addr in addrs}
+        smap.add_site(99)
+        smap.remove_site(99)
+        assert all(smap.shard_for(addr) == old[addr] for addr in addrs)
+
+
+# ---------------------------------------------------------------------------
+# DIR_UPDATE protocol
+
+@pytest.fixture
+def trio(fast_config):
+    cluster = SimCluster(nsites=3, config=fast_config)
+    cluster.sim.run(until=0.2)
+    return cluster, cluster.sites[0], cluster.sites[1], cluster.sites[2]
+
+
+def _dir_shard(cluster, addr):
+    """The site object every member agrees is the directory shard."""
+    shard = cluster.sites[0].cluster_manager.dir_site_for(addr)
+    return cluster.site_by_logical(shard)
+
+
+class TestDirUpdate:
+    def test_alloc_seeds_directory_shard(self, trio):
+        cluster, a, _b, _c = trio
+        addr = a.attraction_memory.alloc_object("v")
+        cluster.sim.run(until=0.4)
+        shard = _dir_shard(cluster, addr)
+        assert shard.attraction_memory.dir_owner(addr) == a.site_id
+
+    def test_migration_updates_directory_shard(self, trio):
+        cluster, a, b, _c = trio
+        addr = a.attraction_memory.alloc_object("v")
+        cluster.sim.run(until=0.4)
+        got = []
+        b.attraction_memory.live_read(addr, lambda v, e=None: got.append(v))
+        cluster.sim.run(until=0.8)
+        assert got == ["v"]
+        assert addr in b.attraction_memory.objects
+        assert addr not in a.attraction_memory.objects
+        shard = _dir_shard(cluster, addr)
+        assert shard.attraction_memory.dir_owner(addr) == b.site_id
+
+    def test_stale_epoch_update_is_dropped(self, trio):
+        cluster, a, b, _c = trio
+        addr = a.attraction_memory.alloc_object("v")
+        cluster.sim.run(until=0.4)
+        shard = _dir_shard(cluster, addr)
+        shard.epoch = 3  # as if a rollback recovery happened here
+        stale = SDMessage(
+            type=MsgType.DIR_UPDATE,
+            src_site=b.site_id, src_manager=ManagerId.ATTRACTION_MEMORY,
+            dst_site=shard.site_id, dst_manager=ManagerId.ATTRACTION_MEMORY,
+            payload={"addr": addr, "owner": b.site_id,
+                     "version": 99, "epoch": 2},
+        )
+        b.message_manager.send(stale)
+        cluster.sim.run(until=0.8)
+        assert shard.attraction_memory.dir_owner(addr) == a.site_id
+        assert shard.attraction_memory.stats.get(
+            "stale_dir_updates_dropped").count >= 1
+
+    def test_version_fencing_keeps_newest_owner(self, trio):
+        """A reordered DIR_UPDATE from an older hop in the ownership chain
+        must not overwrite the newer entry."""
+        cluster, a, b, c = trio
+        addr = a.attraction_memory.alloc_object("v")
+        cluster.sim.run(until=0.4)
+        shard = _dir_shard(cluster, addr)
+        mem = shard.attraction_memory
+        mem._apply_dir_entry(addr, c.site_id, 5, 0)
+        mem._apply_dir_entry(addr, b.site_id, 3, 0)  # late, older version
+        assert mem.dir_owner(addr) == c.site_id
+        mem._apply_dir_entry(addr, b.site_id, 6, 0)
+        assert mem.dir_owner(addr) == b.site_id
+
+    def test_departure_rehomes_directory_entries(self, trio):
+        """When a site dies, survivors republish ownership so reads keep
+        resolving via the re-hashed shard ring."""
+        cluster, a, b, c = trio
+        addr = a.attraction_memory.alloc_object("v")
+        cluster.sim.run(until=0.4)
+        # migrate ownership to b via the real message protocol
+        got = []
+        b.attraction_memory.live_read(addr, lambda v, e=None: got.append(v))
+        cluster.sim.run(until=0.8)
+        assert got == ["v"]
+        a.crash()
+        for survivor in (b, c):
+            survivor.cluster_manager.mark_dead(a.site_id, left=False)
+        cluster.sim.run(until=1.2)
+        shard = _dir_shard(cluster, addr)
+        assert shard.site_id != a.site_id
+        assert shard.attraction_memory.dir_owner(addr) == b.site_id
+
+
+class TestDeadCreatorRegression:
+    """The bug the sharded directory replaces: the per-creator ``home_dir``
+    lost ownership updates when the creating site died, so a third site
+    could never find a migrated object again."""
+
+    def test_read_survives_creator_crash(self, trio):
+        cluster, a, b, c = trio
+        addr = a.attraction_memory.alloc_object("survivor")
+        cluster.sim.run(until=0.4)
+        got = []
+        b.attraction_memory.live_read(addr, lambda v, e=None: got.append(v))
+        cluster.sim.run(until=0.8)
+        assert got == ["survivor"]
+        # the creator dies abruptly; the survivors learn of it
+        a.crash()
+        for survivor in (b, c):
+            survivor.cluster_manager.mark_dead(a.site_id, left=False)
+        cluster.sim.run(until=1.2)
+        # a third site must still be able to locate the object
+        result = []
+        c.attraction_memory.live_read(
+            addr, lambda value, error=None: result.append((value, error)))
+        cluster.sim.run(until=3.0)
+        assert result and result[0][0] == "survivor", (
+            f"read after creator crash failed: {result}")
+        assert addr in c.attraction_memory.objects

@@ -21,6 +21,12 @@ def pair(fast_config):
     return cluster, cluster.sites[0], cluster.sites[1]
 
 
+def dir_shard_of(cluster, addr):
+    """The site holding ``addr``'s directory shard entry."""
+    shard = cluster.sites[0].cluster_manager.dir_site_for(addr)
+    return next(s for s in cluster.sites if s.site_id == shard)
+
+
 def register_program(site, name="t"):
     """Minimal program so frames have an active program id."""
     from repro.core.program import ProgramBuilder
@@ -111,15 +117,18 @@ class TestObjects:
         assert latency == 0.0
 
     def test_remote_read_migrates_and_charges_latency(self, pair):
-        _cluster, a, b = pair
+        cluster, a, b = pair
         addr = a.attraction_memory.alloc_object([1, 2, 3])
         value, latency = b.attraction_memory.sim_read(addr)
         assert value == [1, 2, 3]
         assert latency > 0.0
-        # ownership moved to b; homesite directory at a updated
+        # ownership moved to b; the directory shard learns of it once the
+        # DIR_UPDATE message lands
         assert addr in b.attraction_memory.objects
         assert addr not in a.attraction_memory.objects
-        assert a.attraction_memory.home_dir[addr] == b.site_id
+        cluster.sim.run(until=0.5)
+        assert dir_shard_of(cluster, addr).attraction_memory.dir_owner(
+            addr) == b.site_id
         # second read is local
         _value, second = b.attraction_memory.sim_read(addr)
         assert second == 0.0
@@ -149,9 +158,10 @@ class TestLiveProtocolHandlers:
         b.attraction_memory.live_read(addr, lambda v, e=None: got.append((v, e)))
         cluster.sim.run(until=0.5)
         assert got == [("payload", None)]
-        # b adopted ownership, a's homesite directory points at b
+        # b adopted ownership and published it to the directory shard
         assert addr in b.attraction_memory.objects
-        assert a.attraction_memory.home_dir[addr] == b.site_id
+        assert dir_shard_of(cluster, addr).attraction_memory.dir_owner(
+            addr) == b.site_id
 
     def test_mem_read_redirect_chain(self, pair):
         cluster, a, b = pair

@@ -288,6 +288,43 @@ class TestBackoffAndCooldown:
         assert report.derived["steal_success_rate"] < 1.0
 
 
+class TestDepartureCleanup:
+    """Per-peer scheduler state (cooldown, in-flight fence, parked
+    thieves) must be dropped when the peer crashes or signs off — dead
+    sites used to accumulate in these maps forever."""
+
+    def test_departure_clears_cooldown_and_inflight(self, running_pair):
+        from repro.sched.manager import _HelpRequest
+        _cluster, thief, victim, _handle = running_pair
+        sm = thief.scheduling_manager
+        sm._cooldown[victim.site_id] = sm.kernel.now + 100.0
+        sm._inflight_helps[555] = _HelpRequest(victim.site_id, False,
+                                               sm.kernel.now)
+        thief.cluster_manager._note_departed(victim.site_id)
+        assert victim.site_id not in sm._cooldown
+        assert not sm._inflight_helps
+        assert sm.stats.get("help_targets_departed").count == 1
+
+    def test_departure_drops_parked_helps_of_dead_thief(self, running_pair):
+        from repro.common.ids import ManagerId
+        from repro.messages import MsgType, SDMessage
+        _cluster, victim_site, thief_site, _handle = running_pair
+        sm = victim_site.scheduling_manager
+        msg = SDMessage(
+            type=MsgType.HELP_REQUEST,
+            src_site=thief_site.site_id, src_manager=ManagerId.SCHEDULING,
+            dst_site=victim_site.site_id, dst_manager=ManagerId.SCHEDULING,
+            payload={"thief": thief_site.site_id, "rseq": 42})
+        timer = sm.kernel.call_later(100.0, lambda: None)
+        sm._parked_helps[42] = (msg, timer)
+        cant_help = sm.stats.get("cant_help_sent").count
+        victim_site.cluster_manager._note_departed(thief_site.site_id)
+        assert not sm._parked_helps
+        assert sm.stats.get("help_parks_dropped_dead").count == 1
+        # no CANT_HELP into the void: the thief is gone
+        assert sm.stats.get("cant_help_sent").count == cant_help
+
+
 class TestVictimSelection:
     @pytest.fixture
     def cm(self, fast_config):
@@ -609,3 +646,87 @@ class TestHelpProtocol:
                      + sum(s.processing_manager.in_flight
                            for s in cluster.sites))
         assert stats.get("frames_enqueued").count == accounted
+
+
+class TestHotPeerRumors:
+    """The hot-peer cache and epidemic load rumors — the machinery that
+    keeps work discovery O(1) once the cluster outgrows the 16-peer
+    sample window."""
+
+    @pytest.fixture
+    def big_cm(self, fast_config):
+        # 20 sites: 19 peers, three more than the sample window holds
+        cluster = SimCluster(nsites=20, config=fast_config)
+        cluster.sim.run(until=0.05)
+        cm = cluster.sites[0].cluster_manager
+        now = cm.kernel.now
+        for record in cm.alive_peers():
+            record.load_at = now
+            record.load = 0.0
+            record.queue = 0.0
+        cm._hot_peers.clear()
+        return cm
+
+    def test_rumor_applies_when_fresher(self, big_cm):
+        cm = big_cm
+        record = cm.sites[5]
+        record.load_at = cm.kernel.now - 1.0
+        seen = record.last_seen
+        cm.note_load_rumor(5, 3.0, 4.0, age=0.0)
+        assert record.load == 3.0 and record.queue == 4.0
+        # liveness evidence stays first-hand: a relayed rumor must never
+        # mask a missing heartbeat
+        assert record.last_seen == seen
+        assert 5 in {r.logical for r in cm.hot_peers()}
+
+    def test_rumor_older_than_known_is_ignored(self, big_cm):
+        cm = big_cm
+        cm.note_load(5, 1.0, queue=1.0)
+        cm.note_load_rumor(5, 9.0, 9.0, age=1.0)
+        record = cm.sites[5]
+        assert record.load == 1.0 and record.queue == 1.0
+
+    def test_rumor_about_dead_site_is_ignored(self, big_cm):
+        cm = big_cm
+        cm.sites[5].alive = False
+        cm.note_load_rumor(5, 9.0, 9.0, age=0.0)
+        assert cm.sites[5].queue == 0.0
+        assert 5 not in {r.logical for r in cm.hot_peers()}
+
+    def test_hot_cache_drops_drained_peer(self, big_cm):
+        cm = big_cm
+        cm.note_load(7, 5.0, queue=5.0)
+        assert 7 in {r.logical for r in cm.hot_peers()}
+        cm.note_load(7, 0.0, queue=0.0)
+        assert 7 not in {r.logical for r in cm.hot_peers()}
+
+    def test_hot_rumors_deepest_first_and_capped(self, big_cm):
+        cm = big_cm
+        for logical, queue in ((3, 2.0), (4, 6.0), (5, 4.0), (6, 3.0)):
+            cm.note_load(logical, queue, queue=queue)
+        rows = cm.hot_rumors()
+        assert len(rows) == cm.RUMOR_FANOUT
+        assert [row[0] for row in rows] == [4, 5, 6]
+        assert all(row[3] >= 0.0 for row in rows)  # ages, not timestamps
+
+    def test_pick_help_target_sees_past_sample_window(self, big_cm):
+        cm = big_cm
+        cm._pick_cursor = 0  # next window: logicals 1..16
+        cm.note_load(19, 6.0, queue=6.0)
+        assert cm.pick_help_target(()) == 19
+
+    def test_no_rumor_payload_below_sample_window(self, running_pair):
+        # small clusters must gossip byte-identical payloads to the
+        # pre-rumor wire format (the bit-reproducibility invariant)
+        from dataclasses import replace
+        _cluster, thief, victim, _handle = running_pair
+        sm = victim.scheduling_manager
+        victim.config = victim.config.with_(
+            scheduling=replace(victim.config.scheduling,
+                               gossip_interval=1e-3))
+        victim.cluster_manager.note_load(thief.site_id, 5.0, queue=5.0)
+        sent = []
+        victim.message_manager.send = sent.append
+        sm._gossip_tick()
+        assert sent, "gossip tick should emit load reports"
+        assert all("hot" not in msg.payload for msg in sent)
