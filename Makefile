@@ -2,13 +2,13 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke
+        bench-help-policies bench-scaling-smoke health-smoke
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
 # profiler smoke + chaos smoke + work-distribution policy matrix smoke +
-# big-cluster scaling smoke
+# big-cluster scaling smoke + telemetry-plane smoke
 verify: test smoke-trace bench-gate profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke
+        bench-help-policies bench-scaling-smoke health-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -46,3 +46,9 @@ bench-help-policies:
 # the gossip sample window) must beat one site by a wide margin
 bench-scaling-smoke:
 	$(PY) benchmarks/smoke_scaling.py
+
+# CI smoke for the telemetry plane: metrics sampler -> sdvm-metrics/1
+# JSONL -> health detectors (must stay quiet on a healthy run) -> the
+# `repro health` / `repro top` CLIs
+health-smoke:
+	$(PY) benchmarks/smoke_health.py

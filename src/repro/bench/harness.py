@@ -20,6 +20,49 @@ FULL_SWEEP = os.environ.get("SDVM_BENCH_FULL", "") not in ("", "0")
 #: tracing on and dump a Chrome trace + stats report per run
 TRACE_DIR = os.environ.get("SDVM_TRACE_DIR", "")
 
+#: retention for the trace dir: keep artifacts of the newest N runs (a
+#: run = every file sharing one <name> stem); 0 disables pruning.  Full
+#: sweeps write hundreds of megabytes per invocation — without a cap an
+#: always-on trace dir grows until the disk fills.
+TRACE_KEEP = int(os.environ.get("SDVM_TRACE_KEEP", "40"))
+
+
+def _prune_trace_dir(dirpath: str, keep: int) -> List[str]:
+    """Delete the oldest run artifacts so at most ``keep`` runs remain.
+
+    Files are grouped into runs by their stem (the part before the first
+    ``.``), ranked by the newest mtime in each group, and whole groups
+    are removed oldest-first — a run's .trace.json and .stats.txt always
+    live and die together.  Returns the paths removed (for tests).
+    """
+    if keep <= 0:
+        return []
+    groups: Dict[str, List[str]] = {}
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return []
+    for name in names:
+        path = os.path.join(dirpath, name)
+        if os.path.isfile(path):
+            groups.setdefault(name.split(".", 1)[0], []).append(path)
+    if len(groups) <= keep:
+        return []
+
+    def newest(paths: List[str]) -> float:
+        return max(os.path.getmtime(p) for p in paths)
+
+    doomed = sorted(groups.values(), key=newest)[:len(groups) - keep]
+    removed = []
+    for paths in doomed:
+        for path in paths:
+            try:
+                os.remove(path)
+                removed.append(path)
+            except OSError:
+                pass
+    return removed
+
 
 def bench_config(**overrides) -> SDVMConfig:
     """The configuration every benchmark uses unless it sweeps a knob."""
@@ -52,6 +95,7 @@ def dump_trace_artifact(cluster: SimCluster, name: str) -> Optional[str]:
     with open(stats_path, "w", encoding="utf-8") as fh:
         fh.write(cluster.cluster_report().render())
         fh.write("\n")
+    _prune_trace_dir(TRACE_DIR, TRACE_KEEP)
     return trace_path
 
 

@@ -26,7 +26,8 @@ from repro.apps import (build_memstress_program, build_primes_program,
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.plan import FaultPlan, random_plan, shrink_plan
 from repro.common.config import (CheckpointConfig, ClusterConfig, CostModel,
-                                 SchedulingConfig, SDVMConfig)
+                                 SchedulingConfig, SDVMConfig,
+                                 TelemetryConfig)
 from repro.common.errors import SDVMError
 from repro.site.simcluster import SimCluster
 
@@ -69,11 +70,19 @@ def chaos_config(plan: FaultPlan) -> SDVMConfig:
     on, since blind begging is the very O(sites) regime the hot-peer
     cache exists to avoid.  Small plans keep the historical config
     bit-for-bit.
+
+    The flight recorder is always armed: ring appends are pure
+    observation (the recorder tees into the same Tracer, so journal
+    fingerprints are unchanged), and a crashed site's final moments are
+    then available in every chaos postmortem for free.  The metrics
+    sampler stays *off* — its timer events would change the replayed
+    event interleaving.
     """
     big = plan.nsites > 16
     return SDVMConfig(
         seed=plan.seed,
         trace=True,
+        telemetry=TelemetryConfig(flight_recorder=True),
         cost=CostModel(compile_fixed_cost=1e-4),
         scheduling=SchedulingConfig(ready_target=1, keep_local_min=0,
                                     gossip_interval=1e-2 if big else 0.0,
@@ -118,15 +127,26 @@ def _last_fault_time(plan: FaultPlan) -> float:
 
 
 def run_plan(plan: FaultPlan,
-             progress_timeout: float = 30.0) -> ChaosRunResult:
-    """Execute one fault plan against the standard workload and audit it."""
+             progress_timeout: float = 30.0,
+             telemetry: Optional[TelemetryConfig] = None) -> ChaosRunResult:
+    """Execute one fault plan against the standard workload and audit it.
+
+    ``telemetry`` overrides the default chaos telemetry (flight recorder
+    only) — e.g. to turn the metrics sampler on when a test wants the
+    health detectors watching the run.  Note the sampler's timer events
+    shift the interleaving, so fingerprints are only comparable between
+    runs that use the *same* telemetry settings.
+    """
     plan.validate()
     workload = WORKLOADS.get(plan.workload)
     if workload is None:
         raise SDVMError(f"unknown chaos workload {plan.workload!r} "
                         f"(known: {sorted(WORKLOADS)})")
     build, args, expected = workload
-    cluster = SimCluster(nsites=plan.nsites, config=chaos_config(plan))
+    config = chaos_config(plan)
+    if telemetry is not None:
+        config = config.with_(telemetry=telemetry)
+    cluster = SimCluster(nsites=plan.nsites, config=config)
     cluster.apply_chaos(plan)
     cluster.submit(build(), args=args, site_index=plan.submit_site)
     violations: List[Violation] = []

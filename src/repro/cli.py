@@ -10,6 +10,9 @@ Usage (installed as a module)::
     python -m repro.cli stats primes --sites 4
     python -m repro.cli blame primes --sites 8    # where did the time go?
     python -m repro.cli critical-path primes --sites 8
+    python -m repro.cli run primes --metrics-json run.metrics.jsonl
+    python -m repro.cli health run.metrics.jsonl  # stall detectors
+    python -m repro.cli top run.metrics.jsonl --key busy_frac
     python -m repro.cli bench --check             # regression gate
     python -m repro.cli profile primes --sites 2  # cProfile hot spots
     python -m repro.cli table1 --p 100            # one Table-1 row
@@ -37,6 +40,7 @@ from repro.common.config import (
     SchedulingConfig,
     SDVMConfig,
     SecurityConfig,
+    TelemetryConfig,
 )
 from repro.site.simcluster import SimCluster
 
@@ -79,12 +83,18 @@ def _coerce_args(raw: Sequence[str], defaults: tuple) -> tuple:
 
 def _build_config(args: argparse.Namespace,
                   trace: bool = False) -> SDVMConfig:
+    telemetry = TelemetryConfig()
+    if getattr(args, "metrics_json", ""):
+        telemetry = TelemetryConfig(metrics_enabled=True,
+                                    metrics_interval=getattr(
+                                        args, "metrics_interval", 0.05))
     return SDVMConfig(
         cost=CostModel(compile_fixed_cost=1e-3),
         scheduling=SchedulingConfig(ready_target=1, keep_local_min=0),
         security=SecurityConfig(enabled=getattr(args, "encrypt", False)),
         journal=getattr(args, "trace", False),
         trace=trace,
+        telemetry=telemetry,
         seed=args.seed,
     )
 
@@ -145,6 +155,13 @@ def cmd_run(args: argparse.Namespace, out) -> int:  # noqa: ANN001
               file=out)
     if args.invoice:
         print(cluster.accounting_report(), file=out)
+    if args.metrics_json:
+        cluster.metrics.write_jsonl(args.metrics_json)
+        rows = sum(len(tick) for _t, tick in cluster.metrics.ticks())
+        print(f"wrote {rows} metric samples to {args.metrics_json} "
+              f"(inspect with `repro health` / `repro top`)", file=out)
+        if cluster.health is not None and not cluster.health.ok:
+            print(cluster.health.render(), file=out)
     return 0
 
 
@@ -169,6 +186,10 @@ def cmd_stats(args: argparse.Namespace, out) -> int:  # noqa: ANN001
         return 2
     print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
           f"site(s)", file=out)
+    wall = cluster.wall_clock_metrics()
+    print(f"wall: {wall['wall_seconds']:.3f}s, "
+          f"{wall['events_executed']:.0f} events "
+          f"({wall['events_per_sec']:.0f} events/sec)", file=out)
     print(cluster.cluster_report().render(top=args.top), file=out)
     return 0
 
@@ -333,6 +354,57 @@ def cmd_table1(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     return 0
 
 
+def _load_metrics(path: str, out):  # noqa: ANN001, ANN202
+    """Load + validate an ``sdvm-metrics/1`` file; None after a message."""
+    import os
+
+    from repro.common.errors import SDVMError
+    from repro.trace import MetricsLog
+
+    if not os.path.exists(path):
+        print(f"no metrics file at {path}", file=out)
+        return None
+    try:
+        return MetricsLog.load(path)
+    except SDVMError as exc:
+        print(f"invalid metrics file {path}: {exc}", file=out)
+        return None
+
+
+def cmd_health(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Replay a metrics file through the stall detectors; exit 1 if any
+    fired (usable as a CI health gate on run artifacts)."""
+    from repro.trace import analyze_log
+
+    log = _load_metrics(args.file, out)
+    if log is None:
+        return 2
+    monitor = analyze_log(log)
+    verdict = monitor.verdict()
+    print(monitor.render(limit=args.limit), file=out)
+    print(f"queue p50/p90: {verdict['queue_p50']:.0f}/"
+          f"{verdict['queue_p90']:.0f}, wave age p99: "
+          f"{verdict['wave_age_p99'] * 1e3:.1f}ms over "
+          f"{verdict['ticks']} tick(s)", file=out)
+    return 0 if verdict["ok"] else 1
+
+
+def cmd_top(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Per-site time-series table from a metrics file (postmortem `top`)."""
+    from repro.common.errors import SDVMError
+    from repro.trace import render_top
+
+    log = _load_metrics(args.file, out)
+    if log is None:
+        return 2
+    try:
+        print(render_top(log, key=args.key, last=args.last), file=out)
+    except SDVMError as exc:
+        print(str(exc), file=out)
+        return 2
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     """Fault-injection front end: replay plans, sweep seeds, run corpus."""
     import glob
@@ -415,6 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print the accounting report")
     run_parser.add_argument("--encrypt", action="store_true",
                             help="enable the security manager")
+    run_parser.add_argument("--metrics-json", metavar="PATH", default="",
+                            help="sample per-site health metrics during the "
+                                 "run and write them as sdvm-metrics/1 JSONL")
+    run_parser.add_argument("--metrics-interval", type=float, default=0.05,
+                            help="virtual seconds between metric samples")
     run_parser.add_argument("--seed", type=int, default=0)
 
     trace_parser = sub.add_parser(
@@ -508,6 +585,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--save-dir", default="",
                               help="write shrunk failing plans here")
 
+    health_parser = sub.add_parser(
+        "health", help="run the stall detectors over a metrics file; "
+                       "exit 1 if any fired")
+    health_parser.add_argument("file",
+                               help="sdvm-metrics/1 JSONL "
+                                    "(from `run --metrics-json`)")
+    health_parser.add_argument("--limit", type=int, default=20,
+                               help="max detections to list")
+
+    top_parser = sub.add_parser(
+        "top", help="per-site time-series table from a metrics file")
+    top_parser.add_argument("file",
+                            help="sdvm-metrics/1 JSONL "
+                                 "(from `run --metrics-json`)")
+    top_parser.add_argument("--key", default="queue",
+                            help="metric column to tabulate (queue, "
+                                 "busy_frac, ready, wave_age, ...)")
+    top_parser.add_argument("--last", type=int, default=20,
+                            help="how many trailing sample ticks to show")
+
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
     table_parser.add_argument("--p", type=int, default=100)
@@ -528,6 +625,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
         "bench": cmd_bench,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
+        "health": cmd_health,
+        "top": cmd_top,
         "table1": cmd_table1,
     }
     return handlers[args.command](args, out)

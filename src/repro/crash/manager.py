@@ -108,6 +108,19 @@ class CrashManager(Manager):
         age = self.kernel.now - self._wave_started_at
         return age < 5.0 * self.config.checkpoint.interval
 
+    def open_wave_age(self, now: float) -> float:
+        """Seconds the coordinator's current wave has been awaiting
+        ACKs/STATEs; 0.0 when no wave is open here.
+
+        The telemetry sampler's wave-stall observable: a healthy wave
+        closes within milliseconds, so a growing age is the in-run
+        signature of the never-committing-wave bug class that
+        :meth:`_wave_blocking`'s grace window papers over post-hoc.
+        """
+        if self._acks_pending or self._states_pending:
+            return now - self._wave_started_at
+        return 0.0
+
     def start_checkpoint(self) -> None:
         """Coordinator: begin a checkpoint wave across all alive sites."""
         self._wave += 1

@@ -82,6 +82,21 @@ class LiveCluster:
         if self.config.trace:
             from repro.trace import Tracer
             self.tracer = Tracer()
+        #: bounded per-site event rings, frozen on crash (telemetry);
+        #: tees into the full tracer when both are on
+        self.flight_recorder = None
+        telemetry = self.config.telemetry
+        if telemetry.flight_recorder:
+            from repro.trace import FlightRecorder
+            self.flight_recorder = FlightRecorder(
+                telemetry.flight_ring_depth, inner=self.tracer)
+        self._kernel_tracer = self.flight_recorder or self.tracer
+        #: in-run telemetry (wall-clock sampler thread + health detectors)
+        self.metrics = None
+        self.health = None
+        self._sampler = None
+        self._sampler_stop: Optional[threading.Event] = None
+        self._sampler_thread: Optional[threading.Thread] = None
         self.sites: List[SDVMSite] = []
         self.handles: List[LiveHandle] = []
 
@@ -97,6 +112,8 @@ class LiveCluster:
             site.kernel.reactor_call(  # type: ignore[attr-defined]
                 lambda s=site: s.join(bootstrap_addr))
         self._wait_formed()
+        if telemetry.metrics_enabled:
+            self._start_sampler(telemetry)
 
     def _build_site(self, index: int, site_config: SiteConfig,
                     transport: str) -> SDVMSite:
@@ -111,8 +128,46 @@ class LiveCluster:
             raise SDVMError(f"unknown transport {transport!r}")
         kernel = LiveKernel(make_transport, seed=self.config.seed,
                             name=f"{site_config.name or index}",
-                            tracer=self.tracer)
+                            tracer=self._kernel_tracer)
         return SDVMSite(kernel, self.config, site_config)
+
+    # ------------------------------------------------------------------
+    # telemetry: a wall-clock sampler thread (the live twin of
+    # SimCluster's virtual-time timer)
+
+    def _start_sampler(self, telemetry) -> None:  # noqa: ANN001
+        from repro.trace import HealthMonitor, MetricsSampler
+        sink = self._kernel_tracer
+        self.health = HealthMonitor(
+            telemetry, emit=sink.emit if sink is not None else None)
+        self._sampler = MetricsSampler(self, telemetry,
+                                       monitor=self.health, mode="live")
+        self.metrics = self._sampler.log
+        self._sampler_stop = threading.Event()
+
+        def loop(start: float = time.monotonic()) -> None:
+            # Samples read manager counters from outside the reactor
+            # threads: plain int/float reads, each atomic under CPython.
+            # A row may mix values from adjacent instants — fine for
+            # health monitoring, never used for gated metrics.
+            while not self._sampler_stop.wait(self._sampler.interval):
+                self._sampler.sample_once(time.monotonic() - start)
+
+        self._sampler_thread = threading.Thread(
+            target=loop, name="sdvm-metrics-sampler", daemon=True)
+        self._sampler_thread.start()
+
+    def wall_clock_metrics(self) -> dict:
+        """Aggregate uptime/throughput over every site's live kernel."""
+        per_site = [site.kernel.wall_clock_metrics()  # type: ignore[attr-defined]
+                    for site in self.sites]
+        wall = max((m["wall_seconds"] for m in per_site), default=0.0)
+        events = sum(m["events_executed"] for m in per_site)
+        return {
+            "wall_seconds": wall,
+            "events_executed": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        }
 
     def _wait_formed(self, timeout: float = JOIN_TIMEOUT) -> None:
         deadline = time.monotonic() + timeout
@@ -205,6 +260,10 @@ class LiveCluster:
 
     def shutdown(self) -> None:
         """Stop every site (reverse order so heirs outlive leavers)."""
+        if self._sampler_stop is not None:
+            self._sampler_stop.set()
+            if self._sampler_thread is not None:
+                self._sampler_thread.join(timeout=2.0)
         for site in reversed(self.sites):
             if site.stopped:
                 continue

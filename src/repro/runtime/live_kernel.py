@@ -44,6 +44,10 @@ class LiveKernel(Kernel):
         self.tracer = tracer
         self._queue: "queue.SimpleQueue[Optional[Tuple[Callable, tuple]]]" = (
             queue.SimpleQueue())
+        #: wall-clock accounting (parity with SimCluster.wall_clock_metrics):
+        #: reactor items processed since construction, and when we started
+        self.events_processed = 0
+        self.started_at = time.monotonic()
         self._stopping = threading.Event()
         self._receiver: Optional[Callable[[bytes], None]] = None
         self._peer_watcher: Optional[Callable[[str], None]] = None
@@ -75,6 +79,7 @@ class LiveKernel(Kernel):
             if item is None:
                 return
             fn, args = item
+            self.events_processed += 1
             try:
                 fn(*args)
             except Exception:  # noqa: BLE001 — keep the reactor alive
@@ -101,6 +106,21 @@ class LiveKernel(Kernel):
         watcher = self._peer_watcher
         if watcher is not None and not self._stopping.is_set():
             self.post(watcher, physical)
+
+    def wall_clock_metrics(self) -> dict:
+        """Uptime + reactor throughput (the live twin of
+        :meth:`repro.site.simcluster.SimCluster.wall_clock_metrics`).
+
+        Informational only — wall-clock figures are machine- and
+        load-dependent, so they never participate in gated metrics.
+        """
+        uptime = time.monotonic() - self.started_at
+        events = self.events_processed
+        return {
+            "wall_seconds": uptime,
+            "events_executed": float(events),
+            "events_per_sec": events / uptime if uptime > 0 else 0.0,
+        }
 
     def transport_stats(self) -> dict:
         """Snapshot of the transport's counters ({} if it keeps none)."""

@@ -861,6 +861,12 @@ class SchedulingManager(Manager):
         return (len(self.executable) + len(self.ready)
                 + len(self._pending_code))
 
+    def parked_depth(self) -> int:
+        """Help requests currently parked awaiting a frame surplus
+        (telemetry: a persistently high figure means thieves are queueing
+        behind a victim that never frees anything)."""
+        return len(self._parked_helps)
+
     def on_start(self) -> None:
         if self.config.scheduling.gossip_interval > 0:
             self._gossip_timer = self.kernel.call_later(
@@ -885,4 +891,5 @@ class SchedulingManager(Manager):
         base["ready"] = len(self.ready)
         base["pending_code"] = len(self._pending_code)
         base["inflight_helps"] = len(self._inflight_helps)
+        base["parked_helps"] = self.parked_depth()
         return base

@@ -161,6 +161,11 @@ class SDVMSite:
         """Abrupt death: no relocation, no goodbyes (for experiments)."""
         self.running = False
         self.stopped = True
+        # flight recorder (if one is wired in as the tracer): freeze this
+        # site's ring at the instant of death, before teardown noise
+        recorder = self.tracer
+        if recorder is not None and hasattr(recorder, "record_crash"):
+            recorder.record_crash(self.site_id, self.kernel.now, "crash")
         shared = getattr(self.kernel, "shared", None)
         if shared is not None:
             shared.sites.pop(self.site_id, None)

@@ -82,6 +82,22 @@ class SimCluster:
         if self.config.trace:
             from repro.trace import Tracer
             self.tracer = Tracer()
+        #: bounded per-site rings of recent events, frozen on crash /
+        #: invariant failure (config.telemetry.flight_recorder).  When
+        #: active it becomes the kernels' tracer sink, teeing into the
+        #: full tracer (if any) so journals stay byte-identical.
+        self.flight_recorder = None
+        telemetry = self.config.telemetry
+        if telemetry.flight_recorder:
+            from repro.trace import FlightRecorder
+            self.flight_recorder = FlightRecorder(
+                telemetry.flight_ring_depth, inner=self.tracer)
+        self._kernel_tracer = self.flight_recorder or self.tracer
+        #: in-run telemetry (config.telemetry.metrics_enabled): the
+        #: sdvm-metrics/1 sample log and the online health detectors
+        self.metrics = None
+        self.health = None
+        self._sampler = None
         self.debug = debug
         self._sites: List[SDVMSite] = []
         self._next_physical = 0
@@ -103,11 +119,21 @@ class SimCluster:
             site = self._build_site(site_config)
             self.sim.schedule(index * _JOIN_STAGGER, site.join, "0")
 
+        if telemetry.metrics_enabled:
+            from repro.trace import HealthMonitor, MetricsSampler
+            sink = self._kernel_tracer
+            self.health = HealthMonitor(
+                telemetry, emit=sink.emit if sink is not None else None)
+            self._sampler = MetricsSampler(self, telemetry,
+                                           monitor=self.health)
+            self.metrics = self._sampler.log
+            self._sampler.start_sim()
+
     # ------------------------------------------------------------------
     def _build_site(self, site_config: SiteConfig) -> SDVMSite:
         kernel = SimKernel(self.shared, physical=self._next_physical,
                            speed=site_config.speed, seed=self.config.seed,
-                           tracer=self.tracer)
+                           tracer=self._kernel_tracer)
         self._next_physical += 1
         site = SDVMSite(kernel, self.config, site_config, debug=self.debug)
         self._sites.append(site)
@@ -266,6 +292,10 @@ class SimCluster:
                     f"no progress for {progress_timeout} virtual seconds; "
                     f"unfinished programs: {unfinished}; "
                     f"diagnosis: {self._diagnose()}")
+        # final flush: a run shorter than the sampling interval still
+        # gets one row per site (pure observation of the settled state)
+        if self._sampler is not None:
+            self._sampler.sample_once(self.sim.now)
         if raise_on_failure:
             for handle in self.handles:
                 if handle.done and handle.failed:

@@ -45,6 +45,16 @@ from repro.trace.chrome import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.trace.flight import FlightRecorder
+from repro.trace.health import DETECTORS, Detection, HealthMonitor, analyze_log
+from repro.trace.metrics import (
+    METRICS_SCHEMA,
+    SAMPLE_FIELDS,
+    MetricsLog,
+    MetricsSampler,
+    render_top,
+    validate_metrics,
+)
 from repro.trace.timeline import Timeline, TraceEvent
 from repro.trace.tracer import EVENT_FIELDS, Tracer, TracerEvent
 
@@ -53,18 +63,28 @@ __all__ = [
     "CausalGraph",
     "CausalNode",
     "ClusterReport",
+    "DETECTORS",
+    "Detection",
     "EVENT_FIELDS",
+    "FlightRecorder",
+    "HealthMonitor",
+    "METRICS_SCHEMA",
+    "MetricsLog",
+    "MetricsSampler",
+    "SAMPLE_FIELDS",
     "Timeline",
     "TraceEvent",
     "Tracer",
     "TracerEvent",
     "aggregate_cluster",
     "aggregate_sites",
+    "analyze_log",
     "blame_cluster",
     "blame_sites",
     "exec_node",
     "msg_node",
     "render_critical_path",
+    "render_top",
     "site_stats",
     "to_chrome",
     "validate_chrome_trace",

@@ -1,0 +1,118 @@
+"""The per-site flight recorder: bounded rings of recent trace events.
+
+Full tracing (``SDVMConfig(trace=True)``) keeps the whole journal, which
+is exactly right for benchmarks and chaos replays — and wrong for long
+runs where you only care about the last moments before something died.
+The flight recorder keeps a bounded ring of the most recent events *per
+site*, even when full tracing is off, and freezes a site's ring the
+moment that site crashes (or the invariant checker fails the run), so a
+postmortem never requires re-running with tracing enabled.
+
+It is emit-compatible with :class:`repro.trace.Tracer` — kernels hand it
+to the managers as their ``tracer``, so every existing emission site
+feeds the rings with no new instrumentation.  When full tracing is *also*
+on, the recorder tees: ring append plus forward to the inner tracer
+(whose journal stays byte-identical, so chaos fingerprints and exporters
+are unaffected).
+
+Same discipline as the tracer: pure observation, no simulator/timer/RNG
+access, ``deque.append`` is atomic under CPython so live reactor threads
+share one recorder without a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import TracerEvent
+
+
+class FlightRecorder:
+    """Bounded per-site rings of recent events + frozen crash dumps."""
+
+    __slots__ = ("ring_depth", "inner", "_rings", "dumps")
+
+    def __init__(self, ring_depth: int = 256,
+                 inner: Optional[object] = None) -> None:
+        self.ring_depth = ring_depth
+        #: optional full Tracer to forward every emission to
+        self.inner = inner
+        self._rings: Dict[int, deque] = {}
+        #: site id -> frozen dump dict ({"reason", "at", "events"});
+        #: first freeze wins, later triggers for the same site are no-ops
+        self.dumps: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # the Tracer-compatible hot path
+
+    def emit(self, ts: float, site: int, kind: str,
+             *fields: object) -> None:
+        ring = self._rings.get(site)
+        if ring is None:
+            ring = self._rings[site] = deque(maxlen=self.ring_depth)
+        ring.append((ts, site, kind, fields))
+        inner = self.inner
+        if inner is not None:
+            inner.emit(ts, site, kind, *fields)
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def recent(self, site: int) -> List[TracerEvent]:
+        """The site's ring, oldest first (live view, not frozen)."""
+        return [TracerEvent(*raw) for raw in self._rings.get(site, ())]
+
+    def sites(self) -> List[int]:
+        return sorted(self._rings)
+
+    # ------------------------------------------------------------------
+    # dump triggers
+
+    def record_crash(self, site: int, at: float,
+                     reason: str = "crash") -> Optional[dict]:
+        """Freeze ``site``'s ring (called from the crash path).
+
+        Returns the dump, or None if that site already has one — a crash
+        is the interesting instant, later freezes would overwrite the
+        evidence with post-mortem noise.
+        """
+        if site in self.dumps:
+            return None
+        dump = {"site": site, "reason": reason, "at": at,
+                "events": [TracerEvent(*raw).as_dict()
+                           for raw in self._rings.get(site, ())]}
+        self.dumps[site] = dump
+        return dump
+
+    def dump_all(self, at: float, reason: str) -> int:
+        """Freeze every site's ring (invariant-checker failure path).
+
+        Returns how many new dumps were taken; sites already frozen by a
+        crash keep their crash-time evidence.
+        """
+        taken = 0
+        for site in self.sites():
+            if self.record_crash(site, at, reason) is not None:
+                taken += 1
+        return taken
+
+    # ------------------------------------------------------------------
+    def write(self, dirpath: str) -> List[str]:
+        """Write every frozen dump as ``flight_site<id>.json`` under
+        ``dirpath``; returns the paths written."""
+        os.makedirs(dirpath, exist_ok=True)
+        paths = []
+        for site in sorted(self.dumps):
+            path = os.path.join(dirpath, f"flight_site{site}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(self.dumps[site], fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            paths.append(path)
+        return paths
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder({len(self._rings)} ring(s), "
+                f"{len(self.dumps)} dump(s), depth {self.ring_depth})")

@@ -56,6 +56,9 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "recovery_done": ("epoch",),
     # fault injection (repro.chaos) — site is -1 (cluster-level event)
     "chaos_fault": ("fault", "detail"),
+    # online health detectors (repro.trace.health) — ``site`` is the
+    # offending site; ``detector`` is one of health.DETECTORS
+    "health": ("detector", "detail"),
     # messaging (message manager).  ``seq`` + the sender site identify one
     # physical message on both ends; ``cause``/``origin`` carry the causal
     # stamp assigned at send time.  Loopback (same-site) deliveries emit

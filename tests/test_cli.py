@@ -267,3 +267,75 @@ class TestTable1:
         code, text = run_cli("table1", "--p", "100")
         assert code == 0
         assert "measured" in text and "paper" in text
+
+
+class TestHealthTop:
+    def metrics_file(self, tmp_path, name="run.metrics.jsonl"):
+        path = tmp_path / name
+        code, text = run_cli("run", "primes", "--sites", "2",
+                             "--args", "10", "4", "200", "2000",
+                             "--metrics-json", str(path))
+        assert code == 0
+        assert "metric samples" in text
+        assert path.exists()
+        return str(path)
+
+    def test_run_health_round_trip(self, tmp_path):
+        path = self.metrics_file(tmp_path)
+        code, text = run_cli("health", path)
+        assert code == 0
+        assert "health: OK" in text
+        assert "queue p50/p90" in text
+
+    def test_top_renders_tables(self, tmp_path):
+        path = self.metrics_file(tmp_path)
+        code, text = run_cli("top", path, "--key", "busy_frac",
+                             "--last", "3")
+        assert code == 0
+        assert "site  samples" in text
+        assert "busy_frac per site" in text
+
+    def test_top_unknown_key(self, tmp_path):
+        path = self.metrics_file(tmp_path)
+        code, text = run_cli("top", path, "--key", "bogus")
+        assert code == 2
+        assert "unknown metrics field" in text
+
+    def test_health_missing_file(self, tmp_path):
+        code, text = run_cli("health", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "no metrics file" in text
+
+    def test_health_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "wrong/9"}\n')
+        code, text = run_cli("health", str(path))
+        assert code == 2
+        assert "invalid metrics file" in text
+
+    def test_health_flags_a_stalled_run(self, tmp_path):
+        # hand-craft a document where site 0 goes idle while site 1
+        # hoards a backlog: the idle_stall detector must fire -> exit 1
+        import json as _json
+
+        from repro.trace import MetricsLog
+
+        log = MetricsLog(interval=0.05, nsites=2)
+        header = log.header()
+        rows = []
+        for tick in range(1, 6):
+            t = tick * 0.05
+            base = {name: 0 for name in header["fields"]}
+            idle = dict(base, t=t, site=0, alive=1)
+            busy = dict(base, t=t, site=1, alive=1, queue=12,
+                        in_flight=1, busy_frac=1.0)
+            rows.extend([idle, busy])
+        path = tmp_path / "stalled.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_json.dumps(header) + "\n")
+            for row in rows:
+                fh.write(_json.dumps(row) + "\n")
+        code, text = run_cli("health", str(path))
+        assert code == 1
+        assert "idle_stall" in text
+        assert "ANOMALOUS" in text

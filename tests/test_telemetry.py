@@ -1,0 +1,548 @@
+"""Tests for the in-run telemetry plane: the metrics sampler and the
+``sdvm-metrics/1`` schema, the online health detectors, the per-site
+flight recorder, wall-clock parity on the live runtime, and the bench
+trace-dir retention helper.
+
+The two acceptance scenarios from the chaos side live here too: a
+partition plan that stalls a checkpoint wave must trip the wave-stall
+detector, and a crash plan must leave a flight-recorder dump holding the
+crashed site's final events.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.apps import build_primes_program, first_n_primes
+from repro.chaos import FaultPlan, run_plan
+from repro.common.config import SDVMConfig, TelemetryConfig
+from repro.common.errors import SDVMError
+from repro.common.stats import Histogram
+from repro.site.simcluster import SimCluster
+from repro.trace import (
+    DETECTORS,
+    FlightRecorder,
+    HealthMonitor,
+    METRICS_SCHEMA,
+    MetricsLog,
+    SAMPLE_FIELDS,
+    analyze_log,
+    render_top,
+    validate_metrics,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
+
+
+def telemetry_config(**overrides):
+    base = dict(metrics_enabled=True, metrics_interval=0.05)
+    base.update(overrides)
+    return TelemetryConfig(**base)
+
+
+def run_primes_cluster(telemetry, nsites=4, seed=0):
+    cluster = SimCluster(
+        nsites=nsites,
+        config=SDVMConfig(seed=seed, telemetry=telemetry))
+    handle = cluster.submit(build_primes_program(),
+                            args=(40, 6, 400.0, 4000.0))
+    cluster.run()
+    assert handle.result == first_n_primes(40)
+    return cluster
+
+
+def sample_row(**overrides):
+    """A healthy baseline row; tests override the fields under study."""
+    row = {name: 0 for name in SAMPLE_FIELDS}
+    row.update(t=0.0, site=0, alive=1, busy_frac=0.5, queue=1,
+               in_flight=1, msgs_sent=2, msgs_recv=2, wave_age=0.0)
+    row.update(overrides)
+    return row
+
+
+# ---------------------------------------------------------------------------
+# the sampler + schema
+
+
+class TestMetricsSampler:
+    def test_sim_run_samples_every_site_every_tick(self):
+        cluster = run_primes_cluster(telemetry_config())
+        log = cluster.metrics
+        assert log.sites() == [0, 1, 2, 3]
+        ticks = list(log.ticks())
+        assert len(ticks) >= 3
+        for t, rows in ticks:
+            assert len(rows) == 4
+            assert all(row["t"] == t for row in rows)
+        validate_metrics(log.header(), log.rows)
+
+    def test_counters_are_interval_deltas_not_cumulative(self):
+        cluster = run_primes_cluster(telemetry_config())
+        log = cluster.metrics
+        # cumulative counters would sum to far more than the run total;
+        # deltas reconstruct to at most it (the run ends mid-interval,
+        # so the final partial interval is legitimately unsampled)
+        for index, site in enumerate(cluster.sites):
+            total = site.scheduling_manager.stats.get("steals_in").count
+            deltas = [row["steals_in"] for row in log.rows
+                      if row["site"] == site.site_id]
+            assert all(delta >= 0 for delta in deltas)
+            assert sum(deltas) <= total
+        assert all(0.0 <= row["busy_frac"] <= 1.0 for row in log.rows)
+
+    def test_metrics_off_builds_no_telemetry_objects(self):
+        cluster = run_primes_cluster(TelemetryConfig())
+        assert cluster.metrics is None
+        assert cluster.health is None
+        assert cluster.flight_recorder is None
+
+    def test_metrics_off_runs_are_bit_identical(self):
+        from repro.chaos import journal_fingerprint
+        prints = []
+        for _ in range(2):
+            cluster = SimCluster(nsites=4, config=SDVMConfig(trace=True))
+            cluster.submit(build_primes_program(),
+                           args=(40, 6, 400.0, 4000.0))
+            cluster.run()
+            prints.append(journal_fingerprint(cluster.tracer))
+        assert prints[0] == prints[1]
+
+    def test_flight_recorder_does_not_change_the_journal(self):
+        from repro.chaos import journal_fingerprint
+        prints = []
+        for flight in (False, True):
+            cluster = SimCluster(
+                nsites=4,
+                config=SDVMConfig(trace=True,
+                                  telemetry=TelemetryConfig(
+                                      flight_recorder=flight)))
+            cluster.submit(build_primes_program(),
+                           args=(40, 6, 400.0, 4000.0))
+            cluster.run()
+            prints.append(journal_fingerprint(cluster.tracer))
+        assert prints[0] == prints[1]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        cluster = run_primes_cluster(telemetry_config())
+        path = str(tmp_path / "run.metrics.jsonl")
+        count = cluster.metrics.write_jsonl(path)
+        reloaded = MetricsLog.load(path)
+        assert len(reloaded.rows) == count == len(cluster.metrics.rows)
+        assert reloaded.interval == cluster.metrics.interval
+        assert reloaded.rows == cluster.metrics.rows
+        with open(path, encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+        assert header["schema"] == METRICS_SCHEMA
+        assert header["fields"] == list(SAMPLE_FIELDS)
+
+
+class TestMetricsValidation:
+    def header(self):
+        return MetricsLog(interval=0.05).header()
+
+    def test_rejects_wrong_schema_tag(self):
+        header = self.header()
+        header["schema"] = "sdvm-metrics/0"
+        with pytest.raises(SDVMError, match="schema"):
+            validate_metrics(header, [])
+
+    def test_rejects_bad_interval(self):
+        header = self.header()
+        header["interval"] = 0
+        with pytest.raises(SDVMError, match="interval"):
+            validate_metrics(header, [])
+
+    def test_rejects_field_list_mismatch(self):
+        header = self.header()
+        header["fields"] = header["fields"][:-1]
+        with pytest.raises(SDVMError, match="field list"):
+            validate_metrics(header, [])
+
+    def test_rejects_missing_and_extra_row_keys(self):
+        row = sample_row()
+        del row["queue"]
+        row["bogus"] = 1
+        with pytest.raises(SDVMError, match="keys mismatch"):
+            validate_metrics(self.header(), [row])
+
+    def test_rejects_non_numeric_and_negative_counts(self):
+        with pytest.raises(SDVMError, match="non-numeric"):
+            validate_metrics(self.header(), [sample_row(queue="three")])
+        with pytest.raises(SDVMError, match="non-negative"):
+            validate_metrics(self.header(), [sample_row(queue=-1)])
+        with pytest.raises(SDVMError, match="non-negative"):
+            validate_metrics(self.header(), [sample_row(steals_in=1.5)])
+
+    def test_rejects_time_going_backwards(self):
+        rows = [sample_row(t=0.10), sample_row(t=0.05)]
+        with pytest.raises(SDVMError, match="backwards"):
+            validate_metrics(self.header(), rows)
+
+    def test_rejects_empty_and_non_jsonl_documents(self):
+        with pytest.raises(SDVMError, match="empty"):
+            MetricsLog.from_lines([])
+        with pytest.raises(SDVMError, match="JSONL"):
+            MetricsLog.from_lines(["not json at all\n"])
+
+    def test_render_top_rejects_unknown_key(self):
+        log = MetricsLog(interval=0.05)
+        log.append(sample_row())
+        with pytest.raises(SDVMError, match="unknown metrics field"):
+            render_top(log, key="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Histogram.percentile (the generalized-quantile satellite)
+
+
+class TestHistogramPercentile:
+    def test_percentile_is_conservative_upper_bound(self):
+        hist = Histogram()
+        for value in (0.001,) * 90 + (0.5,) * 10:
+            hist.observe(value)
+        # the true p50 is 0.001; the reported bound may round up to the
+        # bucket edge but never under-reports
+        assert hist.percentile(0.50) >= 0.001
+        assert hist.percentile(0.50) < 0.5
+        # the tail lands in the 0.5 bucket, clamped to the observed max
+        assert 0.5 <= hist.percentile(0.99) <= hist.max
+
+    def test_percentile_empty_and_extremes(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) == 0.0
+        hist.observe(3.0)
+        assert hist.percentile(0.0) <= hist.percentile(1.0) == 3.0
+
+    def test_percentile_clamps_to_observed_max(self):
+        hist = Histogram()
+        hist.observe(250.0)  # beyond the last bucket bound (100 s)
+        assert hist.percentile(0.5) == 250.0
+
+    def test_p50_p95_delegate_to_percentile(self):
+        hist = Histogram()
+        for value in (0.01, 0.02, 0.04, 5.0):
+            hist.observe(value)
+        assert hist.p50 == hist.percentile(0.50)
+        assert hist.p95 == hist.percentile(0.95)
+
+
+# ---------------------------------------------------------------------------
+# the detectors, on synthetic rows
+
+
+class TestHealthDetectors:
+    def monitor(self, **overrides):
+        defaults = dict(metrics_enabled=True, metrics_interval=0.05,
+                        stall_intervals=3, idle_backlog_min=4)
+        defaults.update(overrides)
+        return HealthMonitor(TelemetryConfig(**defaults))
+
+    def feed(self, monitor, tick_rows, dt=0.05):
+        for index, rows in enumerate(tick_rows):
+            t = (index + 1) * dt
+            for row in rows:
+                row["t"] = t
+            monitor.observe(t, rows)
+
+    def test_detector_names_are_stable(self):
+        assert DETECTORS == ("idle_stall", "steal_storm", "wave_stall",
+                             "recovery_wedged", "partition_suspect")
+
+    def test_idle_stall_fires_once_per_episode(self):
+        monitor = self.monitor()
+        idle = lambda: sample_row(site=0, queue=0, in_flight=0,  # noqa: E731
+                                  busy_frac=0.0)
+        busy_peer = lambda: sample_row(site=1, queue=9)  # noqa: E731
+        # 5 stalled ticks: fires at the 3rd, not again at the 4th/5th
+        self.feed(monitor, [[idle(), busy_peer()] for _ in range(5)])
+        firings = [d for d in monitor.detections
+                   if d.detector == "idle_stall"]
+        assert len(firings) == 1
+        assert firings[0].site == 0
+        # clears, then stalls again: a second episode fires
+        self.feed(monitor, [[sample_row(site=0, queue=2), busy_peer()]])
+        self.feed(monitor, [[idle(), busy_peer()] for _ in range(3)])
+        assert len([d for d in monitor.detections
+                    if d.detector == "idle_stall"]) == 2
+
+    def test_idle_without_cluster_backlog_is_fine(self):
+        monitor = self.monitor()
+        rows = lambda: [sample_row(site=0, queue=0, in_flight=0,  # noqa: E731
+                                   busy_frac=0.0),
+                        sample_row(site=1, queue=1)]
+        self.feed(monitor, [rows() for _ in range(6)])
+        assert monitor.ok
+
+    def test_steal_storm_fires_on_fruitless_starved_begging(self):
+        monitor = self.monitor()
+        beggar = lambda: sample_row(site=0, queue=0, in_flight=0,  # noqa: E731
+                                    busy_frac=0.0, help_sent=6,
+                                    steals_in=0)
+        hoarder = lambda: sample_row(site=1, queue=20)  # noqa: E731
+        self.feed(monitor, [[beggar(), hoarder()] for _ in range(3)])
+        assert [d.detector for d in monitor.detections
+                if d.site == 0].count("steal_storm") == 1
+
+    def test_busy_begging_is_not_a_storm(self):
+        # healthy runs beg constantly while busy — must stay quiet
+        monitor = self.monitor()
+        beggar = lambda: sample_row(site=0, busy_frac=0.8,  # noqa: E731
+                                    help_sent=10, steals_in=0)
+        hoarder = lambda: sample_row(site=1, queue=20)  # noqa: E731
+        self.feed(monitor, [[beggar(), hoarder()] for _ in range(6)])
+        assert monitor.ok
+
+    def test_begging_into_a_workless_cluster_is_not_a_storm(self):
+        # the serial tail phase: everyone begs, nobody has work
+        monitor = self.monitor()
+        beggar = lambda site: sample_row(site=site, queue=0,  # noqa: E731
+                                         in_flight=0, busy_frac=0.0,
+                                         help_sent=8, steals_in=0)
+        self.feed(monitor, [[beggar(0), beggar(1)] for _ in range(6)])
+        assert all(d.detector != "steal_storm" for d in monitor.detections)
+
+    def test_wave_stall_fires_and_rearms_after_commit(self):
+        monitor = self.monitor(wave_stall_intervals=4)
+        threshold = 4 * 0.05
+        self.feed(monitor, [[sample_row(site=0, wave_age=threshold + 0.01)]])
+        self.feed(monitor, [[sample_row(site=0, wave_age=threshold + 0.06)]])
+        assert [d.detector for d in monitor.detections] == ["wave_stall"]
+        # the wave commits (age back to 0), then a new wave stalls
+        self.feed(monitor, [[sample_row(site=0, wave_age=0.0)]])
+        self.feed(monitor, [[sample_row(site=0, wave_age=threshold + 0.01)]])
+        assert [d.detector for d in monitor.detections] == ["wave_stall",
+                                                            "wave_stall"]
+
+    def test_recovery_wedged_needs_a_long_streak(self):
+        monitor = self.monitor(recovery_wedged_intervals=4)
+        recovering = lambda: sample_row(site=2, recovering=1)  # noqa: E731
+        self.feed(monitor, [[recovering()] for _ in range(3)])
+        assert monitor.ok
+        self.feed(monitor, [[recovering()]])
+        assert [d.detector for d in monitor.detections] == [
+            "recovery_wedged"]
+
+    def test_partition_suspect_fires_for_one_sided_traffic(self):
+        monitor = self.monitor()
+        deaf = lambda: sample_row(site=0, msgs_sent=5, msgs_recv=0)  # noqa: E731
+        chatty = lambda: sample_row(site=1, msgs_sent=5, msgs_recv=5)  # noqa: E731
+        self.feed(monitor, [[deaf(), chatty()] for _ in range(3)])
+        assert [d.detector for d in monitor.detections] == [
+            "partition_suspect"]
+
+    def test_detections_emit_health_events_into_the_sink(self):
+        events = []
+        monitor = HealthMonitor(
+            TelemetryConfig(metrics_enabled=True, metrics_interval=0.05,
+                            stall_intervals=1, wave_stall_intervals=1),
+            emit=lambda *args: events.append(args))
+        monitor.observe(0.05, [sample_row(site=3, wave_age=1.0)])
+        assert len(events) == 1
+        ts, site, kind, detector, _detail = events[0]
+        assert (site, kind, detector) == (3, "health", "wave_stall")
+
+    def test_verdict_counts_and_percentiles(self):
+        monitor = self.monitor()
+        self.feed(monitor, [[sample_row(site=0, queue=q)]
+                            for q in (0, 1, 2, 50)])
+        verdict = monitor.verdict()
+        assert verdict["ok"] and verdict["ticks"] == 4
+        assert set(verdict["by_detector"]) == set(DETECTORS)
+        assert verdict["queue_p90"] <= 50.0
+        assert "OK" in monitor.render()
+
+    def test_analyze_log_uses_the_log_interval(self):
+        log = MetricsLog(interval=0.5)
+        threshold = TelemetryConfig().wave_stall_intervals * 0.5
+        log.append(sample_row(t=0.5, wave_age=threshold - 0.1))
+        monitor = analyze_log(log)
+        assert monitor.ok  # under the log-interval threshold
+        log.append(sample_row(t=1.0, wave_age=threshold + 0.1))
+        assert not analyze_log(log).ok
+
+
+# ---------------------------------------------------------------------------
+# the flight recorder
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_ordered(self):
+        recorder = FlightRecorder(ring_depth=4)
+        for i in range(10):
+            recorder.emit(float(i), 0, "msg_send", 1, 0, "STEAL_REQ", i)
+        recent = recorder.recent(0)
+        assert len(recent) == 4
+        assert [event.ts for event in recent] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_tees_to_inner_tracer(self):
+        from repro.trace import Tracer
+        inner = Tracer()
+        recorder = FlightRecorder(ring_depth=2, inner=inner)
+        for i in range(5):
+            recorder.emit(float(i), 1, "exec_begin", i, i, 0)
+        assert len(recorder.recent(1)) == 2
+        assert len(inner) == 5  # the full journal is not ring-bounded
+
+    def test_record_crash_freezes_first_wins(self):
+        recorder = FlightRecorder(ring_depth=8)
+        recorder.emit(1.0, 2, "exec_begin", 7, 7, 0)
+        dump = recorder.record_crash(2, 1.5)
+        assert dump["reason"] == "crash" and dump["at"] == 1.5
+        assert [e["kind"] for e in dump["events"]] == ["exec_begin"]
+        recorder.emit(2.0, 2, "exec_begin", 8, 8, 0)
+        assert recorder.record_crash(2, 2.5, "late") is None
+        assert recorder.dumps[2]["at"] == 1.5  # evidence not overwritten
+
+    def test_dump_all_skips_already_frozen_sites(self):
+        recorder = FlightRecorder()
+        recorder.emit(0.1, 0, "msg_send", 1, 0, "X", 1)
+        recorder.emit(0.2, 1, "msg_send", 1, 0, "X", 1)
+        recorder.record_crash(0, 0.15)
+        assert recorder.dump_all(0.3, "invariant_violation") == 1
+        assert recorder.dumps[0]["reason"] == "crash"
+        assert recorder.dumps[1]["reason"] == "invariant_violation"
+
+    def test_write_dumps_to_disk(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.emit(0.1, 3, "msg_send", 1, 0, "X", 1)
+        recorder.record_crash(3, 0.2)
+        paths = recorder.write(str(tmp_path))
+        assert [os.path.basename(p) for p in paths] == [
+            "flight_site3.json"]
+        with open(paths[0], encoding="utf-8") as fh:
+            assert json.load(fh)["site"] == 3
+
+    def test_flight_only_mode_keeps_rings_without_full_tracing(self):
+        config = SDVMConfig(  # trace stays off
+            telemetry=TelemetryConfig(flight_recorder=True,
+                                      flight_ring_depth=32))
+        cluster = SimCluster(nsites=2, config=config)
+        cluster.submit(build_primes_program(), args=(20, 4, 400.0, 4000.0))
+        cluster.run()
+        assert cluster.tracer is None
+        recorder = cluster.flight_recorder
+        assert recorder is not None and recorder.sites()
+        assert all(len(recorder.recent(site)) <= 32
+                   for site in recorder.sites())
+
+
+# ---------------------------------------------------------------------------
+# the chaos acceptance scenarios
+
+
+class TestChaosTelemetry:
+    def test_wave_stall_plan_trips_the_detector(self):
+        plan = FaultPlan.load(os.path.join(CORPUS_DIR, "wave_stall.json"))
+        result = run_plan(plan, telemetry=TelemetryConfig(
+            metrics_enabled=True, metrics_interval=0.02,
+            flight_recorder=True))
+        assert result.ok  # the partition heals; the run itself is clean
+        health = result.cluster.health
+        stalls = [d for d in health.detections
+                  if d.detector == "wave_stall"]
+        assert stalls, f"no wave_stall among {health.detections}"
+        # the stall is seen while the partition holds the wave open
+        assert all(plan.faults[0].start < d.t for d in stalls)
+        assert not health.ok
+
+    def test_crash_plan_leaves_a_flight_dump(self):
+        plan = FaultPlan.load(
+            os.path.join(CORPUS_DIR, "crash_during_wave.json"))
+        result = run_plan(plan)  # chaos_config arms the recorder
+        assert result.ok
+        recorder = result.cluster.flight_recorder
+        crashed = plan.faults[0].site
+        dump = recorder.dumps.get(crashed)
+        assert dump is not None and dump["reason"] == "crash"
+        assert dump["at"] == pytest.approx(plan.faults[0].at, abs=1e-6)
+        assert dump["events"], "ring was empty at crash time"
+        # the evidence is the lead-up, never post-mortem noise
+        assert all(event["ts"] <= dump["at"] for event in dump["events"])
+        # sites that did not crash are not frozen
+        assert set(recorder.dumps) == {crashed}
+
+    def test_invariant_violation_freezes_every_ring(self):
+        from repro.chaos.invariants import InvariantChecker
+        config = SDVMConfig(
+            telemetry=TelemetryConfig(flight_recorder=True))
+        cluster = SimCluster(nsites=2, config=config)
+        handle = cluster.submit(build_primes_program(),
+                                args=(20, 4, 400.0, 4000.0))
+        cluster.run()
+        assert handle.result == first_n_primes(20)
+        # lie about the expected result to force a violation
+        checker = InvariantChecker(cluster, expect_complete=True,
+                                   expected_results=[["wrong"]])
+        violations = checker.check()
+        assert violations
+        assert cluster.flight_recorder.dumps
+        assert all(d["reason"] == "invariant_violation"
+                   for d in cluster.flight_recorder.dumps.values())
+
+
+# ---------------------------------------------------------------------------
+# live runtime parity
+
+
+class TestLiveTelemetry:
+    def test_live_kernel_wall_clock_metrics(self):
+        from repro.runtime.live_cluster import LiveCluster
+        from tests.test_live_runtime import fanout_program
+        config = SDVMConfig(
+            telemetry=TelemetryConfig(metrics_enabled=True,
+                                      metrics_interval=0.01,
+                                      flight_recorder=True))
+        with LiveCluster(nsites=2, config=config) as cluster:
+            assert cluster.run(fanout_program(), args=(6,)) == sum(
+                i * i for i in range(6))
+            wall = cluster.wall_clock_metrics()
+            assert wall["wall_seconds"] > 0
+            assert wall["events_executed"] > 0
+            assert wall["events_per_sec"] > 0
+            import time
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline and not cluster.metrics.rows:
+                time.sleep(0.02)
+            rows = list(cluster.metrics.rows)
+            assert rows, "live sampler thread produced no rows"
+            validate_metrics(cluster.metrics.header(), rows)
+        # shutdown joins the sampler thread
+        assert not cluster._sampler_thread.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# bench trace-dir retention
+
+
+class TestTraceDirRetention:
+    def make_run(self, dirpath, stem, mtime):
+        for suffix in (".trace.json", ".stats.txt"):
+            path = os.path.join(dirpath, stem + suffix)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("{}")
+            os.utime(path, (mtime, mtime))
+
+    def test_prunes_oldest_run_groups_whole(self, tmp_path):
+        from repro.bench.harness import _prune_trace_dir
+        for index in range(5):
+            self.make_run(str(tmp_path), f"run{index}", 1000.0 + index)
+        removed = _prune_trace_dir(str(tmp_path), keep=2)
+        assert sorted(os.path.basename(p) for p in removed) == [
+            "run0.stats.txt", "run0.trace.json",
+            "run1.stats.txt", "run1.trace.json",
+            "run2.stats.txt", "run2.trace.json"]
+        survivors = sorted(os.listdir(str(tmp_path)))
+        assert survivors == ["run3.stats.txt", "run3.trace.json",
+                             "run4.stats.txt", "run4.trace.json"]
+
+    def test_under_limit_and_disabled_are_no_ops(self, tmp_path):
+        from repro.bench.harness import _prune_trace_dir
+        self.make_run(str(tmp_path), "only", 1000.0)
+        assert _prune_trace_dir(str(tmp_path), keep=5) == []
+        assert _prune_trace_dir(str(tmp_path), keep=0) == []
+        assert _prune_trace_dir(str(tmp_path / "missing"), keep=2) == []
+        assert len(os.listdir(str(tmp_path))) == 2
