@@ -2,13 +2,14 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke health-smoke
+        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
 # profiler smoke + chaos smoke + work-distribution policy matrix smoke +
-# big-cluster scaling smoke + telemetry-plane smoke
+# big-cluster scaling smoke + telemetry-plane smoke + sweep orchestrator
+# smoke
 verify: test smoke-trace bench-gate profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke health-smoke
+        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -52,3 +53,10 @@ bench-scaling-smoke:
 # `repro health` / `repro top` CLIs
 health-smoke:
 	$(PY) benchmarks/smoke_health.py
+
+# CI smoke for the multicore sweep orchestrator: a 2-config sweep over 2
+# worker processes with the determinism self-check on (every point runs
+# twice; journal fingerprints must match exactly)
+sweep-smoke:
+	$(PY) -m repro.cli sweep --sites 1,2 --seeds 0 --leaves 64 \
+		--scale 500 --workers 2 --selfcheck

@@ -33,10 +33,13 @@ SITES = (1, 2, 4, 8, 16, 32)
 
 LEAVES = 4096 if not FULL_SWEEP else 16384
 TREE_SCALE = 16000.0
-# 1024 sites form fine (~0.1 s) but the O(jobs) processor-sharing decay
-# in CpuModel._advance makes the sweep wall-clock prohibitive there —
-# see ROADMAP.md for the batched-accounting fix that would unlock it
-TREE_SITES = (1, 8, 64) if not FULL_SWEEP else (1, 8, 64, 256)
+# the full sweep tops out at 1024 sites: O(1) virtual-service CPU
+# accounting plus the batched join wave keep the 1024-site run to
+# minutes of wall clock (it used to be prohibitive — the old CpuModel
+# decayed every active job on every advance).  16384 leaves (16 per
+# site at the top) keep the big step saturated; 4096 would leave 1024
+# sites starved at 4 leaves each
+TREE_SITES = (1, 8, 64) if not FULL_SWEEP else (1, 8, 64, 256, 1024)
 
 
 def test_scaling(benchmark):

@@ -13,11 +13,13 @@ seconds-fast tripwire, the gate suite is the precise regression fence.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import replace
 
 sys.path.insert(0, "src")
 
 from repro.bench.harness import bench_config, run_treesum  # noqa: E402
+from repro.site.simcluster import SimCluster  # noqa: E402
 
 LEAVES = 1024
 SCALE = 8000.0
@@ -26,12 +28,51 @@ NSITES = 64
 #: discovery broke", not a perf fence (the gate suite is that)
 MIN_SPEEDUP = 10.0
 
+#: virtual-seconds budget for every site to learn the full membership.
+#: Joins stagger at 1e-4 s and converge well under 0.1 s; a join wave
+#: that has gone quadratic (per-sign-on duplicate scans, per-join
+#: announce floods) blows far past this before it blows up wall clock
+FORMATION_HORIZON = 0.5
+#: loose wall-clock tripwire for the same regression (the measured wave
+#: is well under a second — only an O(n^2) blowup gets near this)
+FORMATION_WALL_MAX = 30.0
+
+
+def check_formation(config) -> int:
+    """Form an NSITES cluster; fail if full membership converges late."""
+    cluster = SimCluster(nsites=NSITES, config=config)
+    wall_start = time.perf_counter()
+    formed_at = None
+    step = FORMATION_HORIZON / 50.0
+    while cluster.sim.now < FORMATION_HORIZON:
+        cluster.sim.run(until=cluster.sim.now + step)
+        if all(len(site.cluster_manager.sites) == NSITES
+               for site in cluster._sites):
+            formed_at = cluster.sim.now
+            break
+    wall = time.perf_counter() - wall_start
+    if formed_at is None:
+        print(f"smoke_scaling FAILED: {NSITES}-site membership did not "
+              f"converge within {FORMATION_HORIZON}s virtual",
+              file=sys.stderr)
+        return 1
+    print(f"smoke_scaling: {NSITES}-site formation converged at "
+          f"t={formed_at:.3f}s virtual ({wall:.2f}s wall)")
+    if wall > FORMATION_WALL_MAX:
+        print(f"smoke_scaling FAILED: formation took {wall:.1f}s wall "
+              f"> {FORMATION_WALL_MAX}s (join wave gone quadratic?)",
+              file=sys.stderr)
+        return 1
+    return 0
+
 
 def main() -> int:
     base = bench_config()
     config = base.with_(scheduling=replace(base.scheduling,
                                            gossip_interval=1e-2,
                                            gossip_staleness=5e-2))
+    if check_formation(config):
+        return 1
     t1, _ = run_treesum(LEAVES, SCALE, 1, config=config)
     tn, cluster = run_treesum(LEAVES, SCALE, NSITES, config=config)
     speedup = t1 / tn

@@ -8,6 +8,9 @@
   everything under ``benchmarks/``.
 * :mod:`repro.bench.suites` — the deterministic gate suites behind
   ``repro bench`` / ``make bench-gate``.
+* :mod:`repro.bench.sweep` — the multicore sweep orchestrator behind
+  ``repro sweep``: fans config points over a process pool, one
+  fingerprinted ``sdvm-sweep/1`` row per point.
 """
 
 from repro.bench.calibration import (
@@ -32,6 +35,15 @@ from repro.bench.harness import (
     write_bench_json,
 )
 from repro.bench.suites import GATE_SUITES
+from repro.bench.sweep import (
+    SWEEP_SCHEMA,
+    make_point,
+    point_label,
+    render_sweep,
+    run_point,
+    run_sweep,
+    write_sweep_json,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -50,6 +62,13 @@ __all__ = [
     "render_violations",
     "run_primes",
     "run_treesum",
+    "SWEEP_SCHEMA",
+    "make_point",
+    "point_label",
+    "render_sweep",
+    "run_point",
+    "run_sweep",
     "speedup_row",
     "write_bench_json",
+    "write_sweep_json",
 ]

@@ -89,25 +89,33 @@ def overhead_1site_suite() -> SuiteResult:
     return metrics, tolerances, wall_clock_meta([cluster])
 
 
-def _scaling_config():
-    # big-cluster tuning: gossip an order slower than the bench default
-    # (256 sites at 1e-3 bury the run in heartbeats), staleness stretched
-    # to stay ahead of the interval so load info is ever considered
-    # fresh.  Untraced — at 256 sites wall clock is the scarce resource.
+def _scaling_config(nsites: int = 256):
+    # big-cluster tuning: gossip an order (or two, at 1024) slower than
+    # the bench default (256 sites at 1e-3 bury the run in heartbeats),
+    # staleness stretched to stay ahead of the interval so load info is
+    # ever considered fresh.  Untraced — at these sizes wall clock is
+    # the scarce resource.
+    gossip = 2e-2 if nsites > 256 else 1e-2
     base = bench_config()
     return base.with_(scheduling=replace(base.scheduling,
-                                         gossip_interval=1e-2,
-                                         gossip_staleness=5e-2))
+                                         gossip_interval=gossip,
+                                         gossip_staleness=5.0 * gossip))
 
 
 def scaling_suite() -> SuiteResult:
-    """treesum(4096) on 1/64/256 sites: speedup must keep RISING.
+    """treesum on 1/64/256/1024 sites: speedup must keep RISING.
 
-    The headline metric is ``scaling_gain_64_to_256`` = t_64 / t_256:
+    Two ladders.  The 4096-leaf ladder (1/64/256 sites) carries the
+    original headline metric ``scaling_gain_64_to_256`` = t_64 / t_256:
     above 1.0 the cluster still gains from the 64 -> 256 growth step.
-    The baseline pins it near its measured value; the tolerance leaves
-    room for scheduler tuning but a regression back to the old inverted
-    regime (gain < 1) is far outside any tolerance.
+    The 16384-leaf ladder (256/1024 sites) extends the fence to 1024
+    sites — 4096 leaves is only 4 per site there, far below saturation,
+    so the big step needs the bigger tree to have any work to
+    distribute.  ``scaling_gain_256_to_1024`` = t_256 / t_1024 on that
+    ladder is the new headline: above 1.0 the 256 -> 1024 step still
+    pays.  Baselines pin both gains near their measured values; the
+    tolerances leave room for scheduler tuning but a regression back to
+    an inverted regime (gain < 1) is outside them.
 
     treesum, not primes: the primes collector chain is an O(candidates)
     serial spine that tops out long before 256 sites no matter how good
@@ -119,11 +127,21 @@ def scaling_suite() -> SuiteResult:
     cluster256 = None
     for nsites in (1, 64, 256):
         duration, cluster = run_treesum(leaves, scale, nsites,
-                                        config=_scaling_config())
+                                        config=_scaling_config(nsites))
         timings[nsites] = duration
         clusters.append(cluster)
         if nsites == 256:
             cluster256 = cluster
+    big_leaves = 16384
+    big_timings: Dict[int, float] = {}
+    cluster1024 = None
+    for nsites in (256, 1024):
+        duration, cluster = run_treesum(big_leaves, scale, nsites,
+                                        config=_scaling_config(nsites))
+        big_timings[nsites] = duration
+        clusters.append(cluster)
+        if nsites == 1024:
+            cluster1024 = cluster
     metrics: Dict[str, float] = {
         "t_1": timings[1],
         "t_64": timings[64],
@@ -131,16 +149,26 @@ def scaling_suite() -> SuiteResult:
         "speedup_64": timings[1] / timings[64],
         "speedup_256": timings[1] / timings[256],
         "scaling_gain_64_to_256": timings[64] / timings[256],
+        "t_256_l16384": big_timings[256],
+        "t_1024_l16384": big_timings[1024],
+        "scaling_gain_256_to_1024": big_timings[256] / big_timings[1024],
     }
     metrics.update(cluster_bench_metrics(cluster256, prefix="s256_"))
+    metrics.update(cluster_bench_metrics(cluster1024, prefix="s1024_"))
     tolerances = {
-        # 256-site timings are schedule-sensitive: any intentional change
-        # to steal/gossip policy shifts them more than the 5% default
+        # big-cluster timings are schedule-sensitive: any intentional
+        # change to steal/gossip policy shifts them more than the 5%
+        # default
         "t_64": 0.15,
         "t_256": 0.15,
         "speedup_64": 0.15,
         "speedup_256": 0.20,
         "scaling_gain_64_to_256": 0.25,
+        "t_256_l16384": 0.15,
+        "t_1024_l16384": 0.15,
+        # measured ~1.17; tight enough that a collapse below ~1.0 (the
+        # 256 -> 1024 step stops paying) fails the gate
+        "scaling_gain_256_to_1024": 0.12,
         "s256_steal_success_rate": _RATE_TOL,
         "s256_messages_sent": 0.20,
         "s256_bytes_sent": 0.20,
@@ -148,6 +176,14 @@ def scaling_suite() -> SuiteResult:
         "s256_steal_grants": _RATE_TOL,
         "s256_help_timeouts": _RATE_TOL,
         "s256_frames_pushed": _RATE_TOL,
+        "s1024_steal_success_rate": _RATE_TOL,
+        "s1024_messages_sent": 0.20,
+        "s1024_bytes_sent": 0.20,
+        "s1024_steals_in": _RATE_TOL,
+        "s1024_steal_grants": _RATE_TOL,
+        "s1024_help_timeouts": _RATE_TOL,
+        "s1024_frames_pushed": _RATE_TOL,
+        "s1024_gossip_sent": _RATE_TOL,
         "s256_gossip_sent": _RATE_TOL,
     }
     return metrics, tolerances, wall_clock_meta(clusters)

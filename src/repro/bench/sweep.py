@@ -1,0 +1,242 @@
+"""Parallel design-space sweep orchestrator.
+
+One simulation run is single-threaded by construction (the whole point
+of the deterministic event loop), so a config sweep — seeds × cluster
+sizes × scheduling knobs — is embarrassingly parallel across *runs*.
+This module fans sweep points out over a ``multiprocessing`` pool of
+worker processes and collects one machine-readable row per point into
+an ``sdvm-sweep/1`` report.
+
+Every run is traced and fingerprinted (sha256 of the raw event journal,
+the same witness the chaos engine uses), which buys two guarantees:
+
+* **placement independence** — a point's row is identical whether it ran
+  inline, on worker 3 of 8, or in a different interleaving: the stable
+  part of a row is a pure function of the point.
+* **self-check mode** — :func:`run_sweep` can run every point twice in
+  opposite orders across the pool and compare fingerprints, turning the
+  sweep itself into a determinism test.
+
+A worker failure (bad config, wrong app result, sim deadlock timeout)
+is isolated to its row (``status: "error"``): one broken point never
+poisons the rest of the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.harness import bench_config, cluster_bench_metrics
+from repro.common.errors import SDVMError
+
+#: schema tag of sweep report documents; bump on incompatible change
+SWEEP_SCHEMA = "sdvm-sweep/1"
+
+#: apps a sweep point may name, with their parameter defaults
+SWEEP_APPS = ("treesum", "primes")
+
+_POINT_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "treesum": {"leaves": 256, "scale": 4000.0},
+    "primes": {"p": 30, "width": 4, "scale": 1.0, "base": 1e-4},
+}
+
+
+def make_point(app: str, nsites: int = 4, seed: int = 0,
+               gossip_interval: Optional[float] = None,
+               **params: object) -> Dict[str, object]:
+    """Build one sweep point (a plain picklable dict).
+
+    ``params`` override the app's workload knobs (treesum: ``leaves``,
+    ``scale``; primes: ``p``, ``width``, ``scale``, ``base``).
+    """
+    if app not in SWEEP_APPS:
+        raise SDVMError(f"unknown sweep app {app!r} (have {SWEEP_APPS})")
+    point: Dict[str, object] = dict(_POINT_DEFAULTS[app])
+    unknown = set(params) - set(point)
+    if unknown:
+        raise SDVMError(f"unknown {app} parameters {sorted(unknown)}")
+    point.update(params)
+    point["app"] = app
+    point["nsites"] = int(nsites)
+    point["seed"] = int(seed)
+    if gossip_interval is not None:
+        point["gossip_interval"] = float(gossip_interval)
+    return point
+
+
+def point_label(point: Dict[str, object]) -> str:
+    """Stable human-readable id, e.g. ``treesum/l256/s8/seed0``."""
+    app = point["app"]
+    if app == "treesum":
+        work = f"l{point['leaves']}"
+    else:
+        work = f"p{point['p']}w{point['width']}"
+    label = f"{app}/{work}/s{point['nsites']}/seed{point['seed']}"
+    if "gossip_interval" in point:
+        label += f"/g{point['gossip_interval']:g}"
+    return label
+
+
+def _point_config(point: Dict[str, object]):
+    config = bench_config(trace=True, seed=int(point["seed"]))
+    gossip = point.get("gossip_interval")
+    if gossip is not None:
+        config = config.with_(
+            scheduling=replace(config.scheduling,
+                               gossip_interval=float(gossip),
+                               gossip_staleness=5.0 * float(gossip)))
+    return config
+
+
+def run_point(point: Dict[str, object],
+              progress_timeout: float = 600.0) -> Dict[str, object]:
+    """Execute one sweep point; never raises — errors land in the row.
+
+    Module-level (not a closure) so a ``multiprocessing`` pool can
+    pickle it.  The ``meta`` block holds the machine/placement-dependent
+    figures; everything else in the row is deterministic in the point.
+    """
+    from repro.bench.harness import run_primes, run_treesum
+    from repro.chaos.fuzz import journal_fingerprint
+
+    row: Dict[str, object] = {
+        "label": point_label(point),
+        "point": dict(point),
+        "status": "ok",
+        "error": None,
+    }
+    start = time.perf_counter()
+    try:
+        config = _point_config(point)
+        if point["app"] == "treesum":
+            duration, cluster = run_treesum(
+                int(point["leaves"]), float(point["scale"]),
+                int(point["nsites"]), config=config,
+                progress_timeout=progress_timeout)
+        else:
+            duration, cluster = run_primes(
+                int(point["p"]), int(point["width"]), int(point["nsites"]),
+                float(point["scale"]), float(point["base"]), config=config,
+                progress_timeout=progress_timeout)
+        row["virtual_duration"] = duration
+        row["events"] = cluster.sim.events_executed
+        row["fingerprint"] = journal_fingerprint(cluster.tracer)
+        row["metrics"] = cluster_bench_metrics(cluster)
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        row["status"] = "error"
+        row["error"] = f"{type(exc).__name__}: {exc}"
+    row["meta"] = {
+        "wall_seconds": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
+    return row
+
+
+def stable_row(row: Dict[str, object]) -> Dict[str, object]:
+    """The placement-independent part of a row (drops ``meta``)."""
+    return {key: value for key, value in row.items() if key != "meta"}
+
+
+def _pool_map(points: Sequence[Dict[str, object]], workers: int,
+              progress_timeout: float) -> List[Dict[str, object]]:
+    if workers <= 1 or len(points) <= 1:
+        return [run_point(point, progress_timeout) for point in points]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    jobs = [(point, progress_timeout) for point in points]
+    with ctx.Pool(processes=min(workers, len(points))) as pool:
+        return pool.starmap(run_point, jobs, chunksize=1)
+
+
+def run_sweep(points: Iterable[Dict[str, object]], workers: int = 1,
+              selfcheck: bool = False,
+              progress_timeout: float = 600.0) -> Dict[str, object]:
+    """Run every point, possibly in parallel; return the sweep report.
+
+    With ``selfcheck`` each point runs a second time — the replicas are
+    scheduled in *reverse* order so a parallel pool lands them on
+    different workers in a different interleaving — and the two journal
+    fingerprints must match exactly.  A mismatch fails the report
+    (``ok: false``) even though both runs "worked".
+    """
+    points = [dict(point) for point in points]
+    for point in points:
+        if point.get("app") not in SWEEP_APPS:
+            raise SDVMError(f"sweep point missing a valid app: {point}")
+    jobs = list(points)
+    if selfcheck:
+        jobs = jobs + list(reversed(points))
+    start = time.perf_counter()
+    results = _pool_map(jobs, workers, progress_timeout)
+    wall = time.perf_counter() - start
+
+    rows = results[:len(points)]
+    mismatches: List[str] = []
+    if selfcheck:
+        replicas = results[len(points):]
+        by_label = {row["label"]: row for row in replicas}
+        for row in rows:
+            twin = by_label.get(row["label"])
+            if twin is None:
+                mismatches.append(row["label"])
+            elif stable_row(twin) != stable_row(row):
+                mismatches.append(row["label"])
+    failures = [row["label"] for row in rows if row["status"] != "ok"]
+    report: Dict[str, object] = {
+        "schema": SWEEP_SCHEMA,
+        "workers": int(workers),
+        "points": len(points),
+        "ok": not failures and not mismatches,
+        "failures": failures,
+        "rows": rows,
+        "meta": {"wall_seconds": wall},
+    }
+    if selfcheck:
+        report["determinism"] = {
+            "checked": len(points),
+            "mismatches": mismatches,
+        }
+    return report
+
+
+def write_sweep_json(path: str, report: Dict[str, object]) -> str:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_sweep(report: Dict[str, object]) -> str:
+    """Terminal summary: one line per point plus the verdict."""
+    lines = [f"sweep: {report['points']} points, "
+             f"{report['workers']} workers, "
+             f"{report['meta']['wall_seconds']:.2f}s wall"]
+    for row in report["rows"]:
+        if row["status"] == "ok":
+            meta = row["meta"]
+            lines.append(
+                f"  ok    {row['label']:<34} "
+                f"virtual={row['virtual_duration']:.4f}s "
+                f"wall={meta['wall_seconds']:.2f}s "
+                f"fp={row['fingerprint'][:12]}")
+        else:
+            lines.append(f"  FAIL  {row['label']:<34} {row['error']}")
+    determinism = report.get("determinism")
+    if determinism is not None:
+        if determinism["mismatches"]:
+            lines.append("  determinism: MISMATCH on "
+                         + ", ".join(determinism["mismatches"]))
+        else:
+            lines.append(f"  determinism: {determinism['checked']}/"
+                         f"{determinism['checked']} fingerprints stable")
+    lines.append("sweep ok" if report["ok"] else "sweep FAILED")
+    return "\n".join(lines)

@@ -15,6 +15,8 @@ Usage (installed as a module)::
     python -m repro.cli top run.metrics.jsonl --key busy_frac
     python -m repro.cli bench --check             # regression gate
     python -m repro.cli profile primes --sites 2  # cProfile hot spots
+    python -m repro.cli profile --suite scaling --sites 256
+    python -m repro.cli sweep --sites 1,8 --seeds 0:4 --workers 8
     python -m repro.cli table1 --p 100            # one Table-1 row
 
 ``run`` builds a simulated cluster, executes the program, prints its
@@ -287,6 +289,11 @@ def cmd_bench(args: argparse.Namespace, out) -> int:  # noqa: ANN001
 def cmd_profile(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     """Run an app under cProfile and print the hottest functions.
 
+    ``--suite scaling`` profiles the bench-gate scaling workload instead
+    of a named app: treesum under the gate's big-cluster config (slow
+    gossip, no trace) — the exact run to point a profiler at when
+    hunting large-``n`` hotspots.
+
     The wall-clock throughput line uses the cluster's own accounting
     (:meth:`SimCluster.wall_clock_metrics`); note that the profiler's
     tracing overhead deflates it vs. an unprofiled run.
@@ -295,18 +302,42 @@ def cmd_profile(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     import io
     import pstats
 
+    if args.suite:
+        args.sites = args.sites or 64
+        label = f"scaling suite: treesum on {args.sites} site(s)"
+    else:
+        args.sites = args.sites or 4
+        if not args.app:
+            print("profile: an app name is required unless --suite is "
+                  "given", file=out)
+            return 2
+        label = f"{args.app} on {args.sites} site(s)"
+
     profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        cluster, handle = _run_app(args, out)
-    finally:
-        profiler.disable()
-    if cluster is None:
-        return 2
+    if args.suite:
+        from repro.bench.harness import run_treesum
+        from repro.bench.suites import _scaling_config
+        leaves = int(args.args[0]) if args.args else 1024
+        scale = float(args.args[1]) if len(args.args) > 1 else 16000.0
+        profiler.enable()
+        try:
+            duration, cluster = run_treesum(leaves, scale, args.sites,
+                                            config=_scaling_config(
+                                                args.sites))
+        finally:
+            profiler.disable()
+    else:
+        profiler.enable()
+        try:
+            cluster, handle = _run_app(args, out)
+        finally:
+            profiler.disable()
+        if cluster is None:
+            return 2
+        duration = handle.duration
 
     wall = cluster.wall_clock_metrics()
-    print(f"{args.app}: {handle.duration:.4f}s virtual on {args.sites} "
-          f"site(s)", file=out)
+    print(f"{label}: {duration:.4f}s virtual", file=out)
     print(f"wall: {wall['wall_seconds']:.3f}s, "
           f"{wall['events_executed']:.0f} events "
           f"({wall['events_per_sec']:.0f} events/sec), "
@@ -323,6 +354,62 @@ def cmd_profile(args: argparse.Namespace, out) -> int:  # noqa: ANN001
         print(f"wrote raw profile to {args.out_stats} "
               f"(inspect with python -m pstats)", file=out)
     return 0
+
+
+def _parse_int_list(spec: str) -> List[int]:
+    """``"1,8,64"`` -> [1, 8, 64]; ``"0:4"`` -> [0, 1, 2, 3]."""
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    return [int(part) for part in spec.split(",") if part != ""]
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:  # noqa: ANN001
+    """Fan a config sweep across worker processes; write the report.
+
+    Exit codes: 0 all points ok (and, with ``--selfcheck``, all
+    fingerprints stable), 1 any failed point or determinism mismatch,
+    2 usage error.
+    """
+    from repro.bench.sweep import (SWEEP_APPS, make_point, render_sweep,
+                                   run_sweep, write_sweep_json)
+
+    if args.app not in SWEEP_APPS:
+        print(f"unknown sweep app {args.app!r}; available: "
+              f"{', '.join(SWEEP_APPS)}", file=out)
+        return 2
+    try:
+        sites = _parse_int_list(args.sites)
+        seeds = _parse_int_list(args.seeds)
+    except ValueError as exc:
+        print(f"bad --sites/--seeds spec: {exc}", file=out)
+        return 2
+    if not sites or not seeds:
+        print("empty --sites or --seeds sweep", file=out)
+        return 2
+
+    params: Dict[str, object] = {}
+    if args.app == "treesum":
+        params["leaves"] = args.leaves
+        params["scale"] = args.scale
+    else:
+        params["p"] = args.p
+        params["width"] = args.width
+    gossips: List[Optional[float]] = (list(args.gossip)
+                                      if args.gossip else [None])
+    points = [make_point(args.app, nsites=nsites, seed=seed,
+                         gossip_interval=gossip, **params)
+              for nsites in sites
+              for gossip in gossips
+              for seed in seeds]
+    report = run_sweep(points, workers=args.workers,
+                       selfcheck=args.selfcheck,
+                       progress_timeout=args.progress_timeout)
+    print(render_sweep(report), file=out)
+    if args.out:
+        path = write_sweep_json(args.out, report)
+        print(f"wrote {path}", file=out)
+    return 0 if report["ok"] else 1
 
 
 def cmd_table1(args: argparse.Namespace, out) -> int:  # noqa: ANN001
@@ -551,8 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser = sub.add_parser(
         "profile", help="run an app under cProfile; print hot functions "
                         "and wall-clock throughput")
-    profile_parser.add_argument("app")
-    profile_parser.add_argument("--sites", type=int, default=4)
+    profile_parser.add_argument("app", nargs="?", default="")
+    profile_parser.add_argument("--suite", choices=["scaling"], default="",
+                                help="profile a bench-gate workload instead "
+                                     "of an app (scaling: treesum under the "
+                                     "big-cluster config; --args LEAVES "
+                                     "SCALE, --sites defaults to 64)")
+    profile_parser.add_argument("--sites", type=int, default=None)
     profile_parser.add_argument("--args", nargs="*", default=[],
                                 help="program arguments (see `apps`)")
     profile_parser.add_argument("--sort", default="cumulative",
@@ -605,6 +697,39 @@ def build_parser() -> argparse.ArgumentParser:
     top_parser.add_argument("--last", type=int, default=20,
                             help="how many trailing sample ticks to show")
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="fan a config sweep (sites x seeds x gossip) over "
+                      "a pool of worker processes; one fingerprinted row "
+                      "per point")
+    sweep_parser.add_argument("--app", default="treesum",
+                              help="treesum or primes")
+    sweep_parser.add_argument("--sites", default="1,4",
+                              help="comma list (1,8,64) or lo:hi range")
+    sweep_parser.add_argument("--seeds", default="0",
+                              help="comma list or lo:hi range")
+    sweep_parser.add_argument("--gossip", nargs="*", type=float, default=[],
+                              help="gossip_interval values to sweep "
+                                   "(staleness follows at 5x)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = run inline)")
+    sweep_parser.add_argument("--selfcheck", action="store_true",
+                              help="run every point twice and require "
+                                   "identical journal fingerprints")
+    sweep_parser.add_argument("--leaves", type=int, default=256,
+                              help="treesum leaves")
+    sweep_parser.add_argument("--scale", type=float, default=4000.0,
+                              help="treesum work scale")
+    sweep_parser.add_argument("--p", type=int, default=30,
+                              help="primes count")
+    sweep_parser.add_argument("--width", type=int, default=4,
+                              help="primes parallel width")
+    sweep_parser.add_argument("--progress-timeout", type=float,
+                              default=600.0,
+                              help="per-run sim progress timeout (s)")
+    sweep_parser.add_argument("--out", default="",
+                              help="write the sdvm-sweep/1 JSON report "
+                                   "here")
+
     table_parser = sub.add_parser("table1",
                                   help="reproduce one Table-1 row")
     table_parser.add_argument("--p", type=int, default=100)
@@ -624,6 +749,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:  # noqa: ANN001
         "critical-path": cmd_critical_path,
         "bench": cmd_bench,
         "profile": cmd_profile,
+        "sweep": cmd_sweep,
         "chaos": cmd_chaos,
         "health": cmd_health,
         "top": cmd_top,

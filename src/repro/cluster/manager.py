@@ -59,6 +59,14 @@ class ClusterManager(Manager):
         #: stealable work — lets victim selection find the few busy sites
         #: of a large cluster without scanning or sampling all of it
         self._hot_peers: Dict[int, SiteRecord] = {}
+        #: physical address -> first record seen with it — the duplicate
+        #: sign-on check and transport suspicion used to re-walk every
+        #: record per event, an O(n²) tax on the n-site join wave
+        self._by_physical: Dict[str, SiteRecord] = {}
+        #: freshly joined records queued for the next batched
+        #: CLUSTER_INFO announcement (see _flush_announcements)
+        self._announce_queue: List[SiteRecord] = []
+        self._announce_timer = None
 
     # ------------------------------------------------------------------
     # bootstrap / join
@@ -89,6 +97,8 @@ class ClusterManager(Manager):
             reliable=cfg.reliable,
             last_seen=self.kernel.now,
         )
+        self._by_physical.setdefault(
+            self.sites[self.local_id].physical, self.sites[self.local_id])
         self.shard_map.add_site(self.local_id)
 
     #: how long a joiner waits for its SIGN_ON_ACK before resending
@@ -364,10 +374,17 @@ class ClusterManager(Manager):
     def _merge_record(self, incoming: SiteRecord) -> None:
         if incoming.logical == self.local_id:
             return
+        if incoming.physical == self.kernel.local_physical():
+            # our own record echoed back (e.g. a batched announcement
+            # overtaking the SIGN_ON_ACK while local_id is still -1):
+            # adopting ourselves as a peer would shift our heartbeat ring
+            # and cascade false crash detections
+            return
         self.allocator.note_seen(incoming.logical)
         existing = self.sites.get(incoming.logical)
         if existing is None:
             self.sites[incoming.logical] = incoming
+            self._by_physical.setdefault(incoming.physical, incoming)
             incoming.last_seen = self.kernel.now
             tr = self.tracer
             if tr is not None:
@@ -436,14 +453,14 @@ class ClusterManager(Manager):
             # to; the joiner's retry will find us ready
             self.stats.inc("sign_ons_ignored_prestart")
             return
-        # duplicate sign-on (the joiner retried): resend the original ACK
-        joiner_physical = msg.payload["physical"]
-        for record in self.sites.values():
-            if (record.physical == joiner_physical
-                    and record.logical != self.local_id):
-                self._send_ack(record)
-                self.stats.inc("duplicate_sign_ons")
-                return
+        # duplicate sign-on (the joiner retried): resend the original ACK.
+        # O(1) via the physical index — a 1024-site join wave used to
+        # re-walk the whole record list per retry
+        record = self._by_physical.get(msg.payload["physical"])
+        if record is not None and record.logical != self.local_id:
+            self._send_ack(record)
+            self.stats.inc("duplicate_sign_ons")
+            return
         if not self.allocator.can_allocate():
             self._forward_or_defer_sign_on(msg)
             return
@@ -532,12 +549,36 @@ class ClusterManager(Manager):
         self.stats.inc("joined")
         self.site.on_joined()
 
+    #: how long freshly served sign-ons accumulate before one batched
+    #: CLUSTER_INFO goes out per peer.  During an n-site join wave the
+    #: per-join announce used to cost n messages (O(n²) for the wave);
+    #: batching amortizes it to n/batch per join while adding at most
+    #: this much virtual latency to membership convergence — well under
+    #: every heartbeat/gossip interval in use.
+    ANNOUNCE_FLUSH = 5e-3
+
     def _announce(self, record: SiteRecord) -> None:
-        """Tell other sites about a new member (gossip)."""
-        payload = {"sites": [record.to_wire()]}
+        """Queue a new member for the next batched announcement."""
+        self._announce_queue.append(record)
+        if self._announce_timer is None:
+            self._announce_timer = self.kernel.call_later(
+                self.ANNOUNCE_FLUSH, self._flush_announcements)
+
+    def _flush_announcements(self) -> None:
+        """Tell other sites about recently joined members (gossip).
+
+        One CLUSTER_INFO per peer carrying every record queued since the
+        last flush.  Batch members receive the batch too: their SIGN_ON_ACK
+        already carried every earlier record, but later joiners of the
+        same batch are news to them — and re-merging an already-known
+        record is a harmless no-op.
+        """
+        self._announce_timer = None
+        queued, self._announce_queue = self._announce_queue, []
+        if not queued or not self.site.running:
+            return
+        payload = {"sites": [record.to_wire() for record in queued]}
         for peer in self.alive_peers():
-            if peer.logical == record.logical:
-                continue
             self.site.message_manager.send(SDMessage(
                 type=MsgType.CLUSTER_INFO,
                 src_site=self.local_id, src_manager=ManagerId.CLUSTER,
@@ -778,6 +819,10 @@ class ClusterManager(Manager):
         if self._heartbeat_timer is not None:
             self.kernel.cancel(self._heartbeat_timer)
             self._heartbeat_timer = None
+        if self._announce_timer is not None:
+            self.kernel.cancel(self._announce_timer)
+            self._announce_timer = None
+            self._announce_queue = []
 
     # ------------------------------------------------------------------
     def status(self) -> dict:

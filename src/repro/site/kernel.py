@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import random
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.common.errors import SDVMError
@@ -85,13 +86,27 @@ class CpuModel:
     work, which is what makes the single-site overhead experiment (paper
     §5: ~3 %) meaningful.
 
+    Batched virtual-service accounting: one cumulative counter
+    (``_service``) records how much CPU time *each* active job has
+    received since t=0, advancing by ``dt / n`` per :meth:`_advance` —
+    O(1) in the active-job count.  A job admitted when the counter read
+    ``b`` with demand ``d`` finishes when the counter reaches ``b + d``;
+    that finish mark is fixed at admission, so jobs live in a min-heap
+    keyed by it and the next completion is a heap peek.  Under equal
+    sharing the per-job service order never changes after admission,
+    which is what makes the admission-time key sound.  Per-job remaining
+    time is never stored or decayed — the old model's O(jobs) decay loop
+    on every advance (the profiled top cost of 256-site runs, where hot
+    sites carry long job lists of per-message charges) is gone.
+
     Deterministic: completions are processed in (time, admission-sequence)
     order; all state advances only at event boundaries.
     """
 
     __slots__ = ("_sim", "speed", "slowdown", "_jobs", "_seq",
                  "_last_update", "_completion_event", "_target_time",
-                 "_min_remaining", "busy_total", "overhead_total")
+                 "_service", "_overhead_jobs", "busy_total",
+                 "overhead_total")
 
     def __init__(self, sim: "Any", speed: float) -> None:
         if speed <= 0:
@@ -102,7 +117,9 @@ class CpuModel:
         #: admission time, so jobs already running keep their old rate.
         #: The default of 1.0 is float-exact: ``x * 1.0 == x`` bitwise.
         self.slowdown = 1.0
-        #: active jobs: [remaining_cpu_seconds, seq, fn, args, overhead]
+        #: active jobs, a heap ordered by (finish_service, seq) where
+        #: finish_service = service counter at admission + demand.
+        #: Entry: [finish_service, seq, fn, args, overhead]
         self._jobs: list = []
         self._seq = 0
         self._last_update = 0.0
@@ -114,11 +131,12 @@ class CpuModel:
         #: so the shared-progress arithmetic below is unaffected by when
         #: (or how often) stale wake-ups happen.
         self._target_time = None
-        #: cached min over ``job[0]`` — every job decays by the same
-        #: ``share`` in :meth:`_advance` (and correctly-rounded
-        #: subtraction is monotone, so the min job stays the min job),
-        #: which keeps this bitwise equal to a fresh scan without one
-        self._min_remaining = None
+        #: cumulative virtual service: CPU-seconds every currently-active
+        #: job has received since t=0 (idle periods add nothing)
+        self._service = 0.0
+        #: active jobs flagged overhead — lets overhead_total advance in
+        #: O(1) (each gets the same share per advance)
+        self._overhead_jobs = 0
         #: total CPU-seconds consumed
         self.busy_total = 0.0
         #: CPU-seconds spent on protocol overhead (vs. microthread compute)
@@ -126,7 +144,7 @@ class CpuModel:
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        """Progress every active job up to the current instant."""
+        """Progress the shared service counter up to the current instant."""
         now = self._sim.now
         dt = now - self._last_update
         self._last_update = now
@@ -134,13 +152,10 @@ class CpuModel:
         if n == 0 or dt <= 0.0:
             return
         share = dt / n
+        self._service += share
         self.busy_total += dt
-        for job in self._jobs:
-            job[0] -= share
-            if job[4]:
-                self.overhead_total += share
-        if self._min_remaining is not None:
-            self._min_remaining -= share
+        if self._overhead_jobs:
+            self.overhead_total += share * self._overhead_jobs
 
     def _reschedule(self) -> None:
         """Re-aim the completion event at the earliest job completion.
@@ -157,12 +172,16 @@ class CpuModel:
         event = self._completion_event
         if not jobs:
             self._target_time = None
-            self._min_remaining = None
+            # no active job references the counter: re-zero it so its
+            # magnitude (and thus the absolute float error of
+            # ``finish - service``) is bounded by the longest continuous
+            # busy period, not the whole run
+            self._service = 0.0
             if event is not None:
                 event.cancel()
                 self._completion_event = None
             return
-        shortest = self._min_remaining
+        shortest = jobs[0][0] - self._service
         if shortest < 0.0:
             shortest = 0.0
         target = self._sim.now + shortest * len(jobs)
@@ -190,13 +209,16 @@ class CpuModel:
                 target, self._complete)
             return
         self._advance()
-        finished = [job for job in self._jobs if job[0] <= 1e-12]
+        jobs = self._jobs
+        mark = self._service + 1e-12
+        finished = []
+        while jobs and jobs[0][0] <= mark:
+            job = heappop(jobs)
+            finished.append(job)
+            if job[4]:
+                self._overhead_jobs -= 1
         if finished:
             finished.sort(key=lambda job: job[1])  # admission order
-            survivors = [job for job in self._jobs if job[0] > 1e-12]
-            self._jobs = survivors
-            self._min_remaining = (min(job[0] for job in survivors)
-                                   if survivors else None)
             for job in finished:
                 if job[2] is not None:
                     job[2](*job[3])
@@ -214,10 +236,11 @@ class CpuModel:
                 self._sim.schedule(0.0, fn, *args)
             return
         self._advance()
-        self._jobs.append([seconds, self._seq, fn, args, overhead])
+        heappush(self._jobs,
+                 [self._service + seconds, self._seq, fn, args, overhead])
         self._seq += 1
-        if self._min_remaining is None or seconds < self._min_remaining:
-            self._min_remaining = seconds
+        if overhead:
+            self._overhead_jobs += 1
         self._reschedule()
 
     def charge(self, seconds: float, overhead: bool = True) -> None:
