@@ -2,14 +2,16 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: verify test bench bench-gate smoke-trace profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke
+        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke \
+        sdc-smoke
 
 # default CI entry point: unit tests + trace smoke + benchmark gate +
 # profiler smoke + chaos smoke + work-distribution policy matrix smoke +
 # big-cluster scaling smoke + telemetry-plane smoke + sweep orchestrator
-# smoke
+# smoke + silent-data-corruption defense smoke
 verify: test smoke-trace bench-gate profile-smoke chaos-smoke \
-        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke
+        bench-help-policies bench-scaling-smoke health-smoke sweep-smoke \
+        sdc-smoke
 
 test:
 	$(PY) -m pytest -q
@@ -60,3 +62,10 @@ health-smoke:
 sweep-smoke:
 	$(PY) -m repro.cli sweep --sites 1,2 --seeds 0 --leaves 64 \
 		--scale 500 --workers 2 --selfcheck
+
+# CI smoke for the silent-data-corruption defense: the defended corpus
+# plan completes correctly with exact detect/resolve accounting, the
+# health detector sees the mismatches, and the undefended twin is
+# flagged by the sdc_commit invariant
+sdc-smoke:
+	$(PY) benchmarks/smoke_sdc.py

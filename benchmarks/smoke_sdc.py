@@ -1,0 +1,99 @@
+"""CI smoke check for the silent-data-corruption defense
+(``make sdc-smoke``).
+
+Walks the whole detect/quarantine/tie-break pipeline on the two
+committed SDC corpus plans:
+
+1. **Defended** (``sdc_detected.json``: corruption window + full
+   replication): the run must complete with the correct result, every
+   injected corruption of a replicated thread must produce exactly one
+   ``sdc_mismatch`` detection and one ``sdc_resolved`` tie-break, and no
+   tainted effect may reach a commit.
+2. **Health plane**: the same plan re-run with the metrics sampler on
+   must trip the ``sdc_mismatch`` health detector (and only because of
+   real mismatches).
+3. **Undefended** (``expected_fail/sdc_undefended.json``: same
+   corruption, replication off): the invariant audit must flag the run
+   with an ``sdc_commit`` violation — corruption reached a committed
+   result and the journal proves it.
+
+Exits non-zero on any failure so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+CORPUS = os.path.join(os.path.dirname(__file__), os.pardir,
+                      "tests", "chaos_corpus")
+
+
+def main() -> int:
+    from repro.chaos import FaultPlan, run_plan
+    from repro.common.config import TelemetryConfig
+
+    # 1. defended: detect + tie-break, exact accounting
+    plan = FaultPlan.load(os.path.join(CORPUS, "sdc_detected.json"))
+    result = run_plan(plan)
+    if not result.ok:
+        print("FAIL: defended plan violated invariants:")
+        for violation in result.violations:
+            print(f"  {violation}")
+        return 1
+    kinds = result.cluster.tracer.kinds()
+    corruptions = sum(
+        1 for e in result.cluster.tracer.events
+        if e.kind == "chaos_fault" and e.fields[0] == "corrupt_result")
+    mismatches = kinds.get("sdc_mismatch", 0)
+    resolved = kinds.get("sdc_resolved", 0)
+    tainted = kinds.get("sdc_tainted_commit", 0)
+    if corruptions == 0:
+        print("FAIL: the corruption window never fired")
+        return 1
+    if mismatches != corruptions or resolved != corruptions:
+        print(f"FAIL: accounting is off — {corruptions} corruption(s), "
+              f"{mismatches} mismatch(es), {resolved} resolution(s)")
+        return 1
+    if tainted != 0:
+        print(f"FAIL: {tainted} tainted effect(s) committed under full "
+              f"replication")
+        return 1
+    print(f"defended: ok — {corruptions} corruption(s), each detected "
+          f"and resolved, 0 tainted commits")
+
+    # 2. health plane: the sdc_mismatch detector must see the mismatches
+    telemetry = TelemetryConfig(metrics_enabled=True, metrics_interval=0.05,
+                                flight_recorder=True)
+    watched = run_plan(plan, telemetry=telemetry)
+    monitor = watched.cluster.health
+    if monitor is None:
+        print("FAIL: metrics-on run has no health monitor")
+        return 1
+    fired = [d for d in monitor.detections if d.detector == "sdc_mismatch"]
+    if not fired:
+        print("FAIL: health detector missed the replica mismatches")
+        return 1
+    print(f"health: sdc_mismatch detector fired "
+          f"({len(fired)} episode(s))")
+
+    # 3. undefended: the journal invariant must flag the corrupted commit
+    plan = FaultPlan.load(os.path.join(CORPUS, "expected_fail",
+                                       "sdc_undefended.json"))
+    result = run_plan(plan)
+    if result.ok:
+        print("FAIL: undefended corruption passed the invariant audit")
+        return 1
+    invariants = {v.invariant for v in result.violations}
+    if "sdc_commit" not in invariants:
+        print(f"FAIL: undefended run flagged, but not by the sdc_commit "
+              f"invariant (got: {sorted(invariants)})")
+        return 1
+    print(f"undefended: flagged as expected ({sorted(invariants)})")
+
+    print("sdc smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

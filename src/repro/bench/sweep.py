@@ -48,11 +48,14 @@ _POINT_DEFAULTS: Dict[str, Dict[str, object]] = {
 
 def make_point(app: str, nsites: int = 4, seed: int = 0,
                gossip_interval: Optional[float] = None,
+               replicate_frac: Optional[float] = None,
                **params: object) -> Dict[str, object]:
     """Build one sweep point (a plain picklable dict).
 
     ``params`` override the app's workload knobs (treesum: ``leaves``,
     ``scale``; primes: ``p``, ``width``, ``scale``, ``base``).
+    ``replicate_frac`` arms selective duplicate execution (the SDC
+    defense) for that fraction of microthreads.
     """
     if app not in SWEEP_APPS:
         raise SDVMError(f"unknown sweep app {app!r} (have {SWEEP_APPS})")
@@ -66,6 +69,8 @@ def make_point(app: str, nsites: int = 4, seed: int = 0,
     point["seed"] = int(seed)
     if gossip_interval is not None:
         point["gossip_interval"] = float(gossip_interval)
+    if replicate_frac is not None:
+        point["replicate_frac"] = float(replicate_frac)
     return point
 
 
@@ -79,6 +84,8 @@ def point_label(point: Dict[str, object]) -> str:
     label = f"{app}/{work}/s{point['nsites']}/seed{point['seed']}"
     if "gossip_interval" in point:
         label += f"/g{point['gossip_interval']:g}"
+    if "replicate_frac" in point:
+        label += f"/r{point['replicate_frac']:g}"
     return label
 
 
@@ -90,6 +97,11 @@ def _point_config(point: Dict[str, object]):
             scheduling=replace(config.scheduling,
                                gossip_interval=float(gossip),
                                gossip_staleness=5.0 * float(gossip)))
+    frac = point.get("replicate_frac")
+    if frac is not None:
+        config = config.with_(
+            scheduling=replace(config.scheduling,
+                               replicate_frac=float(frac)))
     return config
 
 

@@ -11,14 +11,14 @@ from repro.chaos.fuzz import (ChaosRunResult, FuzzFailure, chaos_config,
                               fuzz, journal_fingerprint, run_plan,
                               verify_determinism)
 from repro.chaos.invariants import InvariantChecker, Violation
-from repro.chaos.plan import (CrashFault, FaultPlan, LinkFault,
+from repro.chaos.plan import (CorruptFault, CrashFault, FaultPlan, LinkFault,
                               PartitionFault, SignOffFault, SlowFault,
                               random_plan, shrink_plan)
 
 __all__ = [
-    "ChaosController", "ChaosRunResult", "CrashFault", "FaultPlan",
-    "FuzzFailure", "InvariantChecker", "LinkFault", "PartitionFault",
-    "SignOffFault", "SlowFault", "Violation", "chaos_config", "fuzz",
-    "journal_fingerprint", "random_plan", "run_plan", "shrink_plan",
-    "verify_determinism",
+    "ChaosController", "ChaosRunResult", "CorruptFault", "CrashFault",
+    "FaultPlan", "FuzzFailure", "InvariantChecker", "LinkFault",
+    "PartitionFault", "SignOffFault", "SlowFault", "Violation",
+    "chaos_config", "fuzz", "journal_fingerprint", "random_plan",
+    "run_plan", "shrink_plan", "verify_determinism",
 ]

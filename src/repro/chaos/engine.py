@@ -28,9 +28,10 @@ stream of chaos-free runs (the bench baselines stay bit-identical).
 from __future__ import annotations
 
 import random
+import struct
 from typing import Dict, List, Optional
 
-from repro.chaos.plan import (CrashFault, FaultPlan, LinkFault,
+from repro.chaos.plan import (CorruptFault, CrashFault, FaultPlan, LinkFault,
                               PartitionFault, SignOffFault, SlowFault)
 from repro.common.errors import SDVMError
 
@@ -57,6 +58,8 @@ class ChaosController:
             for index, site in enumerate(cluster.sites)}
         self._partitions: List[PartitionFault] = []
         self._links: List[LinkFault] = []
+        self._corrupt_results: List[CorruptFault] = []
+        self._corrupt_params: List[CorruptFault] = []
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -80,9 +83,20 @@ class ChaosController:
                 self._partitions.append(fault)
             elif isinstance(fault, LinkFault):
                 self._links.append(fault)
+            elif isinstance(fault, CorruptFault):
+                if fault.mode == "result":
+                    self._corrupt_results.append(fault)
+                else:
+                    self._corrupt_params.append(fault)
             else:
                 raise SDVMError(f"unhandled fault {fault!r}")
-        if self._partitions or self._links:
+        if self._corrupt_results:
+            for index, site in enumerate(self.cluster.sites):
+                site.processing_manager.sdc_arm(self, index)
+        if self._partitions or self._links or self._corrupt_params:
+            # with neither partitions nor links armed, filter_send returns
+            # None without an RNG draw, so param-only plans leave the
+            # delivery schedule untouched
             self.cluster.network.chaos = self
 
     # ------------------------------------------------------------------
@@ -158,3 +172,124 @@ class ChaosController:
                 offsets.append(offsets[0]
                                + (1.0 + self.rng.random()) * latency)
         return offsets
+
+    # ------------------------------------------------------------------
+    # silent data corruption (CorruptFault)
+
+    def _flip_value(self, value, flips):  # noqa: ANN001
+        """Bit-flip the first numeric leaf, staying serde-encodable.
+
+        Ints flip within bits 0..61 (the zigzag codec rejects values
+        outside 64 signed bits); floats flip mantissa bits only, so the
+        corrupted value stays finite (inf/NaN would be a *loud* failure,
+        not a silent one).  Containers (dataflow payloads are routinely
+        dicts/tuples of partial state) are searched depth-first in
+        deterministic order and rebuilt around the one flipped leaf —
+        the original object is never mutated.  Returns
+        ``(new_value, did_flip)``.
+        """
+        if isinstance(value, bool):
+            return value, False
+        if isinstance(value, int):
+            for _ in range(flips):
+                value ^= 1 << self.rng.randrange(62)
+            return value, True
+        if isinstance(value, float):
+            bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+            for _ in range(flips):
+                bits ^= 1 << self.rng.randrange(52)
+            return struct.unpack("<d", struct.pack("<Q", bits))[0], True
+        if isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                flipped, did = self._flip_value(item, flips)
+                if did:
+                    out = list(value)
+                    out[i] = flipped
+                    return (tuple(out) if isinstance(value, tuple)
+                            else out), True
+            return value, False
+        if isinstance(value, dict):
+            for key in value:  # insertion order: deterministic
+                flipped, did = self._flip_value(value[key], flips)
+                if did:
+                    out = dict(value)
+                    out[key] = flipped
+                    return out, True
+            return value, False
+        return value, False
+
+    #: effect-data keys that hold a microthread's produced values, in
+    #: corruption preference order (see core.context.EffectKind)
+    _RESULT_KEYS = (("send_result", "value"), ("exit_program", "result"),
+                    ("mem_write", "value"))
+
+    def corrupt_effects(self, index: int, effects) -> bool:  # noqa: ANN001
+        """Maybe bit-flip one produced value in a completing execution.
+
+        Called by the site's processing manager (primary and shadow
+        completions alike) when result-mode corruption is armed.  Returns
+        True when a flip was applied, so the caller can taint-track the
+        effect list through to commit.
+        """
+        now = self.cluster.sim.now
+        for fault in self._corrupt_results:
+            if not fault.start <= now < fault.end:
+                continue
+            if fault.site >= 0 and fault.site != index:
+                continue
+            if fault.prob < 1.0 and self.rng.random() >= fault.prob:
+                continue
+            for effect in effects:
+                kind = effect.kind.value
+                for ekind, key in self._RESULT_KEYS:
+                    if kind != ekind or key not in effect.data:
+                        continue
+                    flipped, did = self._flip_value(effect.data[key],
+                                                    fault.flips)
+                    if did:
+                        effect.data[key] = flipped
+                        self._trace("corrupt_result", index)
+                        return True
+        return False
+
+    @property
+    def corrupts_wire(self) -> bool:
+        return bool(self._corrupt_params)
+
+    def corrupt_wire(self, src: int, dst: int,
+                     data: bytes) -> Optional[bytes]:
+        """Maybe bit-flip a microframe parameter in flight.
+
+        Targets APPLY_RESULT payloads (the dataflow write that fills a
+        waiting microframe's parameter slot) inside *plaintext* security
+        envelopes; sealed envelopes pass untouched — a flipped bit there
+        trips the MAC, which is a loud failure, not a silent one.
+        Returns the re-wrapped envelope bytes, or None when the message
+        is left alone.
+        """
+        from repro.messages.message import MsgType, SDMessage
+        now = self.cluster.sim.now
+        for fault in self._corrupt_params:
+            if not fault.start <= now < fault.end:
+                continue
+            if fault.site >= 0 and self._phys[fault.site] != dst:
+                continue
+            if len(data) < 3:
+                return None
+            flag, addr_len = struct.unpack_from(">BH", data, 0)
+            if flag != 0:  # sealed envelope: the MAC would catch the flip
+                return None
+            header, body = data[:3 + addr_len], data[3 + addr_len:]
+            msg = SDMessage.decode(body)
+            if msg.type != MsgType.APPLY_RESULT:
+                return None
+            if fault.prob < 1.0 and self.rng.random() >= fault.prob:
+                return None
+            flipped, did = self._flip_value(msg.payload.get("value"),
+                                            fault.flips)
+            if not did:
+                return None
+            msg.payload["value"] = flipped
+            self._trace("corrupt_param", dst)
+            return header + msg.encode()
+        return None

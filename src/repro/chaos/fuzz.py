@@ -86,7 +86,8 @@ def chaos_config(plan: FaultPlan) -> SDVMConfig:
         cost=CostModel(compile_fixed_cost=1e-4),
         scheduling=SchedulingConfig(ready_target=1, keep_local_min=0,
                                     gossip_interval=1e-2 if big else 0.0,
-                                    gossip_staleness=5e-2 if big else 5e-3),
+                                    gossip_staleness=5e-2 if big else 5e-3,
+                                    replicate_frac=plan.replicate_frac),
         cluster=ClusterConfig(heartbeats_enabled=True,
                               heartbeat_interval=0.05,
                               heartbeat_timeout=0.25,
@@ -119,9 +120,19 @@ def journal_fingerprint(tracer) -> str:  # noqa: ANN001
 
 
 def _last_fault_time(plan: FaultPlan) -> float:
+    """Latest instant any scheduled fault can still be acting.
+
+    Point faults (crash, sign_off) carry ``at``; window faults
+    (partition, link, slow, **corrupt**) carry ``start``/``end``.  All
+    three are read so no fault kind — present or future — can be
+    scheduled past the drain horizon: a late corruption window that
+    outlived this bound would flip results *after* the audit and the
+    invariant checker would certify a run it never saw the end of.
+    """
     latest = 0.0
     for fault in plan.faults:
         latest = max(latest, getattr(fault, "at", 0.0),
+                     getattr(fault, "start", 0.0),
                      getattr(fault, "end", 0.0))
     return latest
 
@@ -181,12 +192,20 @@ class FuzzFailure:
 
 
 def fuzz(seeds: Iterable[int], nsites: int = 4, shrink: bool = True,
-         report: Optional[Callable[[str], None]] = None) -> List[FuzzFailure]:
-    """Run one seeded random plan per seed; shrink and collect failures."""
+         report: Optional[Callable[[str], None]] = None,
+         corrupt: bool = False) -> List[FuzzFailure]:
+    """Run one seeded random plan per seed; shrink and collect failures.
+
+    ``corrupt`` adds a silent-data-corruption window to every generated
+    plan (with full replication armed), so the sweep also exercises the
+    detect/quarantine/tie-break path; shrinking stays sound because
+    replay is deterministic — dropping the corruption fault makes the
+    failure vanish, so a corruption-induced repro keeps its corruption.
+    """
     say = report or (lambda line: None)
     failures: List[FuzzFailure] = []
     for seed in seeds:
-        plan = random_plan(seed, nsites=nsites)
+        plan = random_plan(seed, nsites=nsites, corrupt=corrupt)
         result = run_plan(plan)
         if result.ok:
             say(f"seed {seed}: ok ({len(plan.faults)} faults)")

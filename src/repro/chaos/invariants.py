@@ -21,6 +21,11 @@ journal for properties that must hold no matter which faults fired:
   is stuck in flight.
 * **epoch/wave monotonicity** — per coordinator, checkpoint wave ids and
   recovery epochs only ever move forward in the journal.
+* **no corrupted commit** — a result the chaos engine corrupted must
+  never become durable: every ``sdc_tainted_commit`` journal event that
+  is followed by a committed checkpoint wave (or by successful program
+  completion) is a violation.  The replication defense prevents these by
+  quarantining mismatches before their effects dispatch.
 
 Violations come back as data, not exceptions, so the fuzzer can count,
 shrink, and report them.
@@ -60,6 +65,7 @@ class InvariantChecker:
         out.extend(self._check_directory())
         out.extend(self._check_frame_conservation())
         out.extend(self._check_journal())
+        out.extend(self._check_sdc())
         if out:
             self._freeze_flight_rings()
         return out
@@ -219,4 +225,35 @@ class InvariantChecker:
                         f"site {event.site} began recovery epoch {epoch} "
                         f"after epoch {epochs[event.site]}"))
                 epochs[event.site] = max(epochs.get(event.site, 0), epoch)
+        return out
+
+    def _check_sdc(self) -> List[Violation]:
+        """No corrupted result reaches a committed checkpoint.
+
+        ``sdc_tainted_commit`` is emitted by the processing manager when a
+        corrupted effect list dispatches — ground truth straight from the
+        injector.  A tainted commit is tolerable only if it was rolled
+        back before ever becoming durable: no checkpoint wave committed at
+        or after it *and* the program did not certify a result.
+        """
+        tracer = self.cluster.tracer
+        if tracer is None:
+            return []
+        tainted = [e for e in tracer.events
+                   if e.kind == "sdc_tainted_commit"]
+        if not tainted:
+            return []
+        last_wave = max((e.ts for e in tracer.events
+                         if e.kind == "wave_commit"), default=None)
+        completed = any(h.done and not h.failed
+                        for h in self.cluster.handles)
+        out = []
+        for event in tainted:
+            durable = last_wave is not None and last_wave >= event.ts
+            if durable or completed:
+                out.append(Violation(
+                    "sdc_commit",
+                    f"corrupted result of frame {event.fields[0]} "
+                    f"committed on site {event.site} at t={event.ts:.4f} "
+                    f"reached durable state"))
         return out

@@ -86,7 +86,30 @@ class SlowFault:
     kind: str = "slow"
 
 
-Fault = object  # union of the five dataclasses above
+@dataclass(frozen=True)
+class CorruptFault:
+    """Silent data corruption during [start, end).
+
+    ``mode`` selects the injection point: ``"result"`` bit-flips a value
+    a microthread produced, at the completion-time hook in
+    ``proc/sim_manager.py`` (before the microframe's effects dispatch);
+    ``"param"`` bit-flips a microframe parameter *in flight* by mangling
+    an APPLY_RESULT payload inside ``SimNetwork.send``.  ``site`` is the
+    executing site (result mode) or the message destination (param mode);
+    -1 matches any site.  ``prob`` is the per-result / per-message
+    corruption probability, ``flips`` the number of bits flipped.
+    """
+
+    start: float
+    end: float
+    site: int = -1
+    mode: str = "result"
+    prob: float = 1.0
+    flips: int = 1
+    kind: str = "corrupt"
+
+
+Fault = object  # union of the six dataclasses above
 
 _FAULT_TYPES: Dict[str, Type] = {
     "crash": CrashFault,
@@ -94,7 +117,29 @@ _FAULT_TYPES: Dict[str, Type] = {
     "partition": PartitionFault,
     "link": LinkFault,
     "slow": SlowFault,
+    "corrupt": CorruptFault,
 }
+
+
+def _validate_fault(f: Fault) -> None:
+    """Structural checks shared by JSON loading and plan validation."""
+    start = getattr(f, "start", None)
+    end = getattr(f, "end", None)
+    if start is not None and end is not None and not start < end:
+        raise SDVMError(
+            f"{f.kind} fault window must have start < end, got "
+            f"[{start}, {end})")
+    if isinstance(f, CorruptFault):
+        if f.mode not in ("result", "param"):
+            raise SDVMError(
+                f"corrupt fault mode must be 'result' or 'param', "
+                f"got {f.mode!r}")
+        if not 0.0 < f.prob <= 1.0:
+            raise SDVMError(
+                f"corrupt fault prob must be in (0, 1], got {f.prob}")
+        if f.flips < 1:
+            raise SDVMError(
+                f"corrupt fault flips must be >= 1, got {f.flips}")
 
 
 def fault_from_dict(data: dict) -> Fault:
@@ -102,10 +147,18 @@ def fault_from_dict(data: dict) -> Fault:
     cls = _FAULT_TYPES.get(kind)
     if cls is None:
         raise SDVMError(f"unknown fault kind {kind!r}")
+    known = {f.name for f in fields(cls)}
+    unexpected = sorted(set(data) - known)
+    if unexpected:
+        raise SDVMError(
+            f"unexpected field {unexpected[0]!r} in {kind} fault "
+            f"(known fields: {', '.join(sorted(known - {'kind'}))})")
     kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
     if cls is PartitionFault:
         kwargs["group"] = tuple(kwargs.get("group", ()))
-    return cls(**kwargs)
+    fault = cls(**kwargs)
+    _validate_fault(fault)
+    return fault
 
 
 @dataclass
@@ -126,12 +179,20 @@ class FaultPlan:
     #: workload to run under the faults (see chaos.fuzz.WORKLOADS);
     #: "memstress" exercises the sharded attraction-memory directory
     workload: str = "primes"
+    #: fraction of microthreads executed twice with result comparison
+    #: (the SDC defense; 0.0 keeps the execution path byte-identical)
+    replicate_frac: float = 0.0
     name: str = ""
     faults: List[Fault] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        if not 0.0 <= self.replicate_frac <= 1.0:
+            raise SDVMError(
+                f"replicate_frac must be in [0, 1], "
+                f"got {self.replicate_frac}")
         for f in self.faults:
+            _validate_fault(f)
             for attr in ("site", "src", "dst"):
                 idx = getattr(f, attr, None)
                 if idx is not None and idx >= self.nsites:
@@ -158,6 +219,7 @@ class FaultPlan:
                "horizon": self.horizon,
                "expect_complete": self.expect_complete,
                "workload": self.workload,
+               "replicate_frac": self.replicate_frac,
                "name": self.name,
                "faults": [asdict(f) for f in self.faults]}
         for f in doc["faults"]:
@@ -179,6 +241,7 @@ class FaultPlan:
                    horizon=doc.get("horizon", 60.0),
                    expect_complete=doc.get("expect_complete", True),
                    workload=doc.get("workload", "primes"),
+                   replicate_frac=doc.get("replicate_frac", 0.0),
                    name=doc.get("name", ""),
                    faults=[fault_from_dict(f)
                            for f in doc.get("faults", [])])
@@ -205,6 +268,7 @@ class FaultPlan:
                          horizon=self.horizon,
                          expect_complete=self.expect_complete,
                          workload=self.workload,
+                         replicate_frac=self.replicate_frac,
                          name=self.name, faults=list(faults))
 
 
@@ -218,7 +282,8 @@ _MIN_CRASH_WAVES = 3.0
 
 
 def random_plan(seed: int, nsites: int = 4,
-                ckpt_interval: float = 0.2) -> FaultPlan:
+                ckpt_interval: float = 0.2,
+                corrupt: bool = False) -> FaultPlan:
     """Generate one seeded random fault plan.
 
     The generator keeps plans *survivable by construction*: the submit
@@ -226,6 +291,11 @@ def random_plan(seed: int, nsites: int = 4,
     site stays alive, partitions heal well inside the heartbeat timeout,
     and crashes land only after a checkpoint has plausibly committed —
     so ``expect_complete`` is True and any non-completion is a real bug.
+
+    ``corrupt`` additionally draws one site-targeted result-corruption
+    window and turns full replication on, so the defense must detect and
+    outvote every flip (the corrupt draws happen *after* the base fault
+    loop — ``corrupt=False`` plans stay bit-identical per seed).
     """
     rng = random.Random(seed)
     plan = FaultPlan(seed=seed, nsites=nsites, submit_site=0,
@@ -271,6 +341,17 @@ def random_plan(seed: int, nsites: int = 4,
                                     site=rng.randrange(nsites),
                                     factor=round(2.0 + rng.random() * 6.0,
                                                  2)))
+    if corrupt:
+        # site-targeted: site=-1 would corrupt primary and replica
+        # identically, which no amount of comparison can detect
+        start = round(0.1 + rng.random() * 1.0, 4)
+        faults.append(CorruptFault(
+            start=start,
+            end=round(start + 0.3 + rng.random() * 1.2, 4),
+            site=rng.randrange(nsites),
+            mode="result",
+            prob=round(0.3 + rng.random() * 0.7, 3)))
+        plan.replicate_frac = 1.0
     faults.sort(key=lambda f: (getattr(f, "at", getattr(f, "start", 0.0)),
                                f.kind))
     plan.faults = faults

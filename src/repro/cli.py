@@ -397,10 +397,14 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:  # noqa: ANN001
         params["width"] = args.width
     gossips: List[Optional[float]] = (list(args.gossip)
                                       if args.gossip else [None])
+    fracs: List[Optional[float]] = (list(args.replicate_frac)
+                                    if args.replicate_frac else [None])
     points = [make_point(args.app, nsites=nsites, seed=seed,
-                         gossip_interval=gossip, **params)
+                         gossip_interval=gossip, replicate_frac=frac,
+                         **params)
               for nsites in sites
               for gossip in gossips
+              for frac in fracs
               for seed in seeds]
     report = run_sweep(points, workers=args.workers,
                        selfcheck=args.selfcheck,
@@ -539,7 +543,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:  # noqa: ANN001
     # action == "fuzz"
     lo, hi = args.seeds
     failures = fuzz(range(lo, hi + 1), nsites=args.sites,
-                    shrink=not args.no_shrink,
+                    shrink=not args.no_shrink, corrupt=args.corrupt,
                     report=lambda line: print(line, file=out))
     for failure in failures:
         if args.save_dir:
@@ -674,6 +678,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="cluster size for generated fuzz plans")
     chaos_parser.add_argument("--no-shrink", action="store_true",
                               help="report failures without minimizing")
+    chaos_parser.add_argument("--corrupt", action="store_true",
+                              help="add a silent-data-corruption window "
+                                   "(with full replication) to every "
+                                   "generated fuzz plan")
     chaos_parser.add_argument("--save-dir", default="",
                               help="write shrunk failing plans here")
 
@@ -710,6 +718,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--gossip", nargs="*", type=float, default=[],
                               help="gossip_interval values to sweep "
                                    "(staleness follows at 5x)")
+    sweep_parser.add_argument("--replicate-frac", nargs="*", type=float,
+                              default=[],
+                              help="replicate_frac values to sweep (the "
+                                   "SDC duplicate-execution knob)")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="worker processes (1 = run inline)")
     sweep_parser.add_argument("--selfcheck", action="store_true",

@@ -480,12 +480,24 @@ class ClusterManager(Manager):
         self.stats.inc("sign_ons_served")
         self._announce(record)
 
+    #: membership-list size above which SIGN_ON_ACK switches from the
+    #: historical per-record dict encoding to the compact positional one.
+    #: The ACK carries all n known records, so a 1024-site join wave used
+    #: to ship ~12 repeated key strings per record per joiner; below the
+    #: threshold the wire bytes stay byte-for-byte historical (bench
+    #: baselines at 64 sites and under do not move)
+    ACK_COMPACT_THRESHOLD = 128
+
     def _send_ack(self, record: SiteRecord, grant_block: bool = False) -> None:
-        payload = {
-            "your_id": record.logical,
-            "sites": [r.to_wire() for r in self.sites.values()],
-            "programs": self.site.program_manager.known_programs_wire(),
-        }
+        payload = {"your_id": record.logical}
+        if len(self.sites) > self.ACK_COMPACT_THRESHOLD:
+            payload["sites_packed"] = [r.to_wire_compact()
+                                       for r in self.sites.values()]
+        else:
+            # key insertion order preserved: small-cluster ACK bytes stay
+            # identical to the historical encoding
+            payload["sites"] = [r.to_wire() for r in self.sites.values()]
+        payload["programs"] = self.site.program_manager.known_programs_wire()
         if grant_block and isinstance(self.allocator, ContingentAllocator):
             try:
                 low, high = self.allocator.grant_block()
@@ -541,6 +553,8 @@ class ClusterManager(Manager):
         self._add_self_record()
         for wire in msg.payload.get("sites", []):
             self.learn_record(wire)
+        for packed in msg.payload.get("sites_packed", []):
+            self._merge_record(SiteRecord.from_wire_compact(packed))
         block = msg.payload.get("id_block")
         if block and isinstance(self.allocator, ContingentAllocator):
             self.allocator.receive_block(block[0], block[1])

@@ -5,6 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: bit positions of the compact-encoding flags word (see
+#: :meth:`SiteRecord.to_wire_compact`)
+_F_ALIVE = 1
+_F_LEFT = 2
+_F_CODE_DIST = 4
+_F_RELIABLE = 8
+
 
 @dataclass(slots=True)
 class SiteRecord:
@@ -72,6 +79,44 @@ class SiteRecord:
             queue=data.get("queue", 0.0),
             alive=data.get("alive", True),
             left=data.get("left", False),
+            heir=None if heir < 0 else heir,
+        )
+
+    def to_wire_compact(self) -> list:
+        """Positional membership encoding for bulk transfers.
+
+        A full :meth:`to_wire` dict repeats 12 key strings per record, so
+        a 1024-site SIGN_ON_ACK spends most of its bytes on keys.  The
+        compact form is a 9-element list with the four booleans packed
+        into one flags word; it carries exactly the information
+        :meth:`from_wire` reads, so ``from_wire_compact(to_wire_compact())``
+        round-trips.  Only used above the bulk threshold — small-cluster
+        ACKs keep the historical dict encoding byte-for-byte.
+        """
+        flags = ((_F_ALIVE if self.alive else 0)
+                 | (_F_LEFT if self.left else 0)
+                 | (_F_CODE_DIST if self.code_distribution else 0)
+                 | (_F_RELIABLE if self.reliable else 0))
+        return [self.logical, self.physical, self.platform, self.speed,
+                self.name, flags, self.load, self.queue,
+                -1 if self.heir is None else self.heir]
+
+    @classmethod
+    def from_wire_compact(cls, data: list) -> "SiteRecord":
+        (logical, physical, platform, speed, name, flags, load, queue,
+         heir) = data
+        return cls(
+            logical=logical,
+            physical=physical,
+            platform=platform,
+            speed=speed,
+            name=name,
+            code_distribution=bool(flags & _F_CODE_DIST),
+            reliable=bool(flags & _F_RELIABLE),
+            load=load,
+            queue=queue,
+            alive=bool(flags & _F_ALIVE),
+            left=bool(flags & _F_LEFT),
             heir=None if heir < 0 else heir,
         )
 

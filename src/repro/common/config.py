@@ -184,6 +184,14 @@ class SchedulingConfig:
     #: (0 disables parking and refuses immediately; must stay well under
     #: the thief's request timeout, 4x help_retry_interval min 50ms)
     help_park_max: float = 4e-3
+    #: fraction of microthreads executed twice with result comparison
+    #: before their effects dispatch — the silent-data-corruption defense
+    #: (0.0 keeps the execution pipeline byte-identical to no-replication
+    #: behavior; selection is a deterministic per-frame hash, no RNG)
+    replicate_frac: float = 0.0
+    #: how long a primary waits for its cross-site shadow's verdict
+    #: before committing its own result anyway (covers shadow-site death)
+    replicate_timeout: float = 0.25
 
     def __post_init__(self) -> None:
         if self.help_fanout < 1:
@@ -202,6 +210,10 @@ class SchedulingConfig:
             raise ConfigError("steal_min_queue must be >= 1")
         if self.help_park_max < 0:
             raise ConfigError("help_park_max must be >= 0")
+        if not 0.0 <= self.replicate_frac <= 1.0:
+            raise ConfigError("replicate_frac must be in [0, 1]")
+        if self.replicate_timeout <= 0:
+            raise ConfigError("replicate_timeout must be positive")
 
 
 @dataclass(frozen=True, slots=True)

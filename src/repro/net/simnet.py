@@ -94,6 +94,13 @@ class SimNetwork:
         know; failure surfaces via timeouts (heartbeats, help retries).
         """
         cfg = self.config
+        if self.chaos is not None and self.chaos.corrupts_wire:
+            # silent data corruption in flight: the mangled bytes replace
+            # the originals before any cost/size accounting, exactly as a
+            # flipped bit on the wire would
+            mangled = self.chaos.corrupt_wire(src, dst, data)
+            if mangled is not None:
+                data = mangled
         size = len(data)
         self.stats.inc("messages")
         self.stats.add("bytes", size)

@@ -9,8 +9,10 @@ processing manager overlaps with other executions (latency hiding).
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Tuple
 
+from repro.common.errors import ProgramError
 from repro.common.ids import FileHandle, GlobalAddress
 from repro.core.context import Effect, ExecutionContext
 from repro.core.frames import Microframe
@@ -63,3 +65,107 @@ class SimExecutionContext(ExecutionContext):
 
     def _op_file_close(self, handle: FileHandle) -> None:
         self._site.io_manager.sim_close(handle)
+
+
+class RecordingSimContext(SimExecutionContext):
+    """Primary-execution context for a *replicated* microthread.
+
+    Every primitive-op result (allocated addresses, memory reads, file
+    I/O) is appended to ``oplog`` in call order, so a shadow re-execution
+    can replay the exact same inputs without touching cluster state — the
+    dynamic-dependency problem that makes naive replication unsound:
+    a second live execution would allocate fresh addresses and observe
+    later memory states, and its effects would never compare equal.
+
+    ``args_snapshot`` is a deep copy of the frame's parameters taken
+    *before* the primary runs: microthreads freely mutate mutable
+    arguments (the primes pipeline threads one state dict through its
+    collect chain), so a shadow fed the live objects would observe the
+    primary's mutations instead of the original inputs.
+    """
+
+    def __init__(self, frame: Microframe, site,  # noqa: ANN001
+                 thread_table: Dict[str, Tuple[int, int]]) -> None:
+        super().__init__(frame, site, thread_table)
+        self.oplog: List[Any] = []
+        self.args_snapshot: List[Any] = copy.deepcopy(frame.arguments())
+        #: the compiled microthread, stashed so the verify path can hand
+        #: the same entry point to shadow re-executions
+        self.compiled: Any = None
+
+    def _record(self, value: Any) -> Any:
+        self.oplog.append(value)
+        return value
+
+    def _op_alloc_frame_address(self) -> GlobalAddress:
+        return self._record(super()._op_alloc_frame_address())
+
+    def _op_malloc(self, value: Any) -> GlobalAddress:
+        return self._record(super()._op_malloc(value))
+
+    def _op_read(self, address: GlobalAddress) -> Any:
+        return self._record(super()._op_read(address))
+
+    def _op_file_open(self, path: str, mode: str) -> FileHandle:
+        return self._record(super()._op_file_open(path, mode))
+
+    def _op_file_read(self, handle: FileHandle, size: int) -> bytes:
+        return self._record(super()._op_file_read(handle, size))
+
+    def _op_file_write(self, handle: FileHandle, data: bytes) -> int:
+        return self._record(super()._op_file_write(handle, data))
+
+
+class ReplaySimContext(SimExecutionContext):
+    """Shadow-execution context: primitive ops replay the primary's oplog.
+
+    The shadow observes byte-for-byte the primary's inputs (same
+    addresses, same read values, same per-execution RNG seed — the seed
+    is derived from the frame id and the cluster-wide config seed, so it
+    is site-independent) and touches no cluster state of its own.  Its
+    buffered effects are therefore directly comparable to the primary's:
+    any divergence is corruption of one of the two executions, not
+    environmental drift.
+    """
+
+    def __init__(self, frame: Microframe, site,  # noqa: ANN001
+                 thread_table: Dict[str, Tuple[int, int]],
+                 oplog: List[Any], started_at: float) -> None:
+        super().__init__(frame, site, thread_table)
+        # observe the primary's clock, not the shadow site's
+        self._now = started_at
+        self._oplog = oplog
+        self._cursor = 0
+
+    def _replay(self) -> Any:
+        if self._cursor >= len(self._oplog):
+            raise ProgramError(
+                "shadow execution diverged: more primitive ops than the "
+                "primary recorded")
+        value = self._oplog[self._cursor]
+        self._cursor += 1
+        return value
+
+    def _op_alloc_frame_address(self) -> GlobalAddress:
+        return self._replay()
+
+    def _op_malloc(self, value: Any) -> GlobalAddress:
+        return self._replay()
+
+    def _op_read(self, address: GlobalAddress) -> Any:
+        return self._replay()
+
+    def _op_file_open(self, path: str, mode: str) -> FileHandle:
+        return self._replay()
+
+    def _op_file_read(self, handle: FileHandle, size: int) -> bytes:
+        return self._replay()
+
+    def _op_file_write(self, handle: FileHandle, data: bytes) -> int:
+        return self._replay()
+
+    def _op_file_seek(self, handle: FileHandle, offset: int) -> None:
+        return None
+
+    def _op_file_close(self, handle: FileHandle) -> None:
+        return None

@@ -20,15 +20,28 @@ flight, so very large ``max_parallel`` degrades — reproducing the paper's
 
 from __future__ import annotations
 
+import copy
 import traceback
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.common.ids import ManagerId
 from repro.core.frames import Microframe
 from repro.core.threads import CompiledMicrothread
-from repro.proc.sim_context import SimExecutionContext
+from repro.proc.sim_context import (RecordingSimContext, ReplaySimContext,
+                                    SimExecutionContext)
+from repro.sched.policies import replicate_chosen
 from repro.site.manager_base import Manager
 from repro.trace.causal import exec_node
+
+
+def effects_key(effects: list) -> str:
+    """Canonical comparison key for a buffered effect list.
+
+    Two executions of the same microthread over the same recorded inputs
+    produce identical keys unless one of them was corrupted — effect data
+    is plain values, addresses, and tuples with deterministic reprs.
+    """
+    return repr([(e.kind.value, sorted(e.data.items())) for e in effects])
 
 
 class SimProcessingManager(Manager):
@@ -45,6 +58,20 @@ class SimProcessingManager(Manager):
         self._outstanding_requests = 0
         #: total work units executed (for accounting / benchmarks)
         self.work_done = 0.0
+        #: fraction of microthreads executed twice (SDC defense); cached
+        #: so the replication-off hot path costs one float compare
+        self._replicate_frac = site.config.scheduling.replicate_frac
+        self._replicate_timeout = site.config.scheduling.replicate_timeout
+        #: frame key -> pending-verify timeout event (cross-site shadows)
+        self._pending_verify: Dict[int, object] = {}
+        #: chaos-engine result-corruption hook (None outside corrupt plans)
+        self._sdc_corrupter = None
+        self._sdc_index = -1
+
+    def sdc_arm(self, corrupter, index: int) -> None:  # noqa: ANN001
+        """Arm the chaos engine's result-corruption hook for this site."""
+        self._sdc_corrupter = corrupter
+        self._sdc_index = index
 
     @property
     def max_parallel(self) -> int:
@@ -109,7 +136,17 @@ class SimProcessingManager(Manager):
     def _execute(self, frame: Microframe,
                  compiled: CompiledMicrothread) -> None:
         info = self.site.program_manager.get(frame.program)
-        ctx = SimExecutionContext(frame, self.site, info.thread_table())
+        if (self._replicate_frac > 0.0
+                and replicate_chosen(frame.frame_id.pack(),
+                                     self._replicate_frac)):
+            # replicated execution: record primitive-op results so a
+            # shadow can replay the same inputs (see sim_context)
+            ctx: SimExecutionContext = RecordingSimContext(
+                frame, self.site, info.thread_table())
+            ctx.compiled = compiled
+            self.stats.inc("sdc_replicated")
+        else:
+            ctx = SimExecutionContext(frame, self.site, info.thread_table())
         try:
             compiled.entry(ctx, *frame.arguments())
         except Exception:  # noqa: BLE001 — user code may raise anything
@@ -173,9 +210,23 @@ class SimProcessingManager(Manager):
                         frame.frame_id.pack(), 0.0)
             self._finish_slot(frame)
             return
+        if self._sdc_corrupter is not None:
+            # injected silent corruption lands here — after compute, before
+            # anything dispatches — on replicated and plain threads alike
+            if self._sdc_corrupter.corrupt_effects(self._sdc_index,
+                                                   ctx.effects):
+                ctx.sdc_tainted = True
+        if isinstance(ctx, RecordingSimContext):
+            self._start_verify(frame, ctx, epoch)
+            return
+        self._commit_causal(frame, ctx, ctx.effects,
+                            getattr(ctx, "sdc_tainted", False))
+
+    def _commit_causal(self, frame: Microframe, ctx: SimExecutionContext,
+                       effects: list, tainted: bool) -> None:
         tr = self.tracer
         if tr is None:
-            self._commit(frame, ctx)
+            self._commit(frame, ctx, effects, tainted)
             return
         # everything the completing execution triggers — result messages,
         # child frames, the kick that refills the slot — is caused by this
@@ -186,12 +237,22 @@ class SimProcessingManager(Manager):
         site.cause_origin = (frame.cause_origin
                              if frame.cause_origin >= 0 else self.local_id)
         try:
-            self._commit(frame, ctx)
+            self._commit(frame, ctx, effects, tainted)
         finally:
             site.cause_node, site.cause_origin = prev_node, prev_origin
 
-    def _commit(self, frame: Microframe, ctx: SimExecutionContext) -> None:
-        self.site.dispatch_effects(frame, ctx.effects)
+    def _commit(self, frame: Microframe, ctx: SimExecutionContext,
+                effects: list, tainted: bool = False) -> None:
+        if tainted:
+            # ground-truth marker for the invariant checker: a corrupted
+            # result is entering the committed state ("no corrupted result
+            # reaches a committed checkpoint" audits for exactly this)
+            self.stats.inc("sdc_tainted_commits")
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.kernel.now, self.local_id, "sdc_tainted_commit",
+                        frame.frame_id.pack())
+        self.site.dispatch_effects(frame, effects)
         frame.consume()
         # all accounting happens at completion, in lockstep with the
         # program manager's metering (in-flight work at shutdown is
@@ -210,6 +271,253 @@ class SimProcessingManager(Manager):
         self.site.program_manager.record_execution(frame.program,
                                                    ctx.charged_work)
         self._finish_slot(frame)
+
+    # ------------------------------------------------------------------
+    # replicated execution — the silent-data-corruption defense.
+    #
+    # The primary's completion does not dispatch: the slot is held while a
+    # shadow re-execution (on a different site when the cluster has one)
+    # replays the recorded inputs and the two effect lists are compared.
+    # Match -> commit; mismatch -> quarantine both, trace sdc_mismatch,
+    # freeze the flight recorder, and re-execute on a third site to break
+    # the tie.  A timeout commits the primary result if the shadow's
+    # verdict is lost (buddy crash / partition), so replication can delay
+    # a commit but never wedge a program.
+
+    def _start_verify(self, frame: Microframe, ctx: SimExecutionContext,
+                      epoch: int) -> None:
+        shared = getattr(self.kernel, "shared", None)
+        peers = (shared.alive_peers(self.local_id)
+                 if shared is not None else [])
+        key = frame.frame_id.pack()
+        if not peers:
+            # sole site: replicate in time instead of space — a second
+            # execution on our own CPU, behind whatever else is queued
+            self._pending_verify[key] = None
+            compute = self.cost.work_seconds(ctx.charged_work,
+                                             self.site.site_config.speed)
+            self.kernel.cpu.run(compute, self._local_shadow_done,
+                                frame, ctx, epoch)
+            return
+        buddy = shared.sites[peers[key % len(peers)]]
+        latency = shared.network.config.latency
+        self._pending_verify[key] = self.kernel.call_later(
+            self._replicate_timeout, self._verify_timeout, frame, ctx, epoch)
+        self.kernel.call_later(latency, self._shadow_begin,
+                               buddy, frame, ctx, epoch)
+
+    def _run_replay(self, host_site, frame: Microframe,  # noqa: ANN001
+                    ctx: SimExecutionContext) -> Optional[list]:
+        """Re-execute the microthread over the primary's recorded inputs."""
+        info = self.site.program_manager.get(frame.program)
+        replay = ReplaySimContext(frame, host_site, info.thread_table(),
+                                  ctx.oplog, ctx.now)
+        try:
+            # each replay gets its own pristine copy of the arguments —
+            # the primary (and any earlier replay) mutates mutable ones
+            ctx.compiled.entry(replay,
+                               *copy.deepcopy(ctx.args_snapshot))
+        except Exception:  # noqa: BLE001 — a diverging replay is itself SDC
+            self.stats.inc("sdc_shadow_errors")
+            return None
+        return replay.effects
+
+    def _local_shadow_done(self, frame: Microframe, ctx: SimExecutionContext,
+                           epoch: int) -> None:
+        if self.site.stopped:
+            return
+        self.stats.inc("sdc_shadow_execs")
+        effects = self._run_replay(self.site, frame, ctx)
+        tainted = False
+        if effects is not None and self._sdc_corrupter is not None:
+            tainted = self._sdc_corrupter.corrupt_effects(self._sdc_index,
+                                                          effects)
+        self._verdict(frame, ctx, epoch, effects, tainted, None)
+
+    def _shadow_begin(self, buddy, frame: Microframe,  # noqa: ANN001
+                      ctx: SimExecutionContext, epoch: int) -> None:
+        if self.site.stopped or epoch != self.site.epoch:
+            return
+        if buddy.stopped or not buddy.running:
+            return  # buddy died before the work arrived; the timeout commits
+        effects = self._run_replay(buddy, frame, ctx)
+        bpm = buddy.processing_manager
+        bpm.stats.inc("sdc_shadow_execs")
+        compute = bpm.cost.work_seconds(ctx.charged_work,
+                                        buddy.site_config.speed)
+        buddy.kernel.cpu.run(compute, self._shadow_done,
+                             buddy, frame, ctx, epoch, effects)
+
+    def _shadow_done(self, buddy, frame: Microframe,  # noqa: ANN001
+                     ctx: SimExecutionContext, epoch: int,
+                     effects: Optional[list]) -> None:
+        if self.site.stopped:
+            return
+        if buddy.stopped:
+            return  # the verdict died with the buddy; the timeout commits
+        tainted = False
+        bpm = buddy.processing_manager
+        if effects is not None and bpm._sdc_corrupter is not None:
+            # the shadow completes *on the buddy*: an in-window corruption
+            # of that site flips the shadow's copy, not the primary's
+            tainted = bpm._sdc_corrupter.corrupt_effects(bpm._sdc_index,
+                                                         effects)
+        latency = self.kernel.shared.network.config.latency
+        self.kernel.call_later(latency, self._verdict,
+                               frame, ctx, epoch, effects, tainted, buddy)
+
+    def _discard_stale(self, frame: Microframe) -> None:
+        self.stats.inc("stale_epoch_discarded")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "exec_end",
+                    frame.frame_id.pack(), 0.0)
+        self._finish_slot(frame)
+
+    def _verdict(self, frame: Microframe, ctx: SimExecutionContext,
+                 epoch: int, effects: Optional[list], tainted_shadow: bool,
+                 buddy) -> None:  # noqa: ANN001
+        if self.site.stopped:
+            return
+        key = frame.frame_id.pack()
+        if key not in self._pending_verify:
+            return  # the timeout already committed the primary result
+        timer = self._pending_verify.pop(key)
+        if timer is not None:
+            self.kernel.cancel(timer)
+        if epoch != self.site.epoch:
+            self._discard_stale(frame)
+            return
+        tainted_primary = getattr(ctx, "sdc_tainted", False)
+        if effects is None:
+            # the replay itself failed: fall back to the primary result
+            self.stats.inc("sdc_shadow_timeouts")
+            self._commit_causal(frame, ctx, ctx.effects, tainted_primary)
+            return
+        if effects_key(ctx.effects) == effects_key(effects):
+            self.stats.inc("sdc_verified")
+            self._commit_causal(frame, ctx, ctx.effects, tainted_primary)
+            return
+        # mismatch: one of the two executions is lying.  Quarantine both
+        # results (neither dispatches), raise the structured alarm, freeze
+        # the flight recorder at the moment of detection, and break the
+        # tie with a third execution
+        self.stats.inc("sdc_mismatches")
+        buddy_id = buddy.site_id if buddy is not None else self.local_id
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "sdc_mismatch",
+                    frame.frame_id.pack(), buddy_id)
+        recorder = self.site.tracer
+        if recorder is not None and hasattr(recorder, "dump_all"):
+            recorder.dump_all(self.kernel.now, "sdc_mismatch")
+        self._tie_break(frame, ctx, epoch, effects, tainted_shadow, buddy)
+
+    def _verify_timeout(self, frame: Microframe, ctx: SimExecutionContext,
+                        epoch: int) -> None:
+        if self.site.stopped:
+            return
+        key = frame.frame_id.pack()
+        if self._pending_verify.pop(key, None) is None:
+            return  # verdict already arrived
+        if epoch != self.site.epoch:
+            self._discard_stale(frame)
+            return
+        # the shadow's verdict is lost (buddy crash, partition): commit
+        # the primary's result rather than wedging the program
+        self.stats.inc("sdc_shadow_timeouts")
+        self._commit_causal(frame, ctx, ctx.effects,
+                            getattr(ctx, "sdc_tainted", False))
+
+    def _tie_break(self, frame: Microframe, ctx: SimExecutionContext,
+                   epoch: int, effects_shadow: list, tainted_shadow: bool,
+                   buddy) -> None:  # noqa: ANN001
+        shared = getattr(self.kernel, "shared", None)
+        exclude = [self.local_id]
+        if buddy is not None:
+            exclude.append(buddy.site_id)
+        peers = shared.alive_peers(*exclude) if shared is not None else []
+        key = frame.frame_id.pack()
+        if peers:
+            # a site that ran neither quarantined execution
+            referee = shared.sites[peers[key % len(peers)]]
+        elif buddy is not None and not buddy.stopped:
+            referee = buddy
+        else:
+            referee = self.site
+        latency = (shared.network.config.latency
+                   if shared is not None else 0.0)
+        self.kernel.call_later(latency, self._referee_begin, referee,
+                               frame, ctx, epoch, effects_shadow,
+                               tainted_shadow)
+
+    def _referee_begin(self, referee, frame: Microframe,  # noqa: ANN001
+                       ctx: SimExecutionContext, epoch: int,
+                       effects_shadow: list, tainted_shadow: bool) -> None:
+        if self.site.stopped:
+            return
+        if referee.stopped:
+            self._resolve(frame, ctx, epoch, effects_shadow, tainted_shadow,
+                          None, False)
+            return
+        effects = self._run_replay(referee, frame, ctx)
+        rpm = referee.processing_manager
+        rpm.stats.inc("sdc_shadow_execs")
+        compute = rpm.cost.work_seconds(ctx.charged_work,
+                                        referee.site_config.speed)
+        referee.kernel.cpu.run(compute, self._referee_done, referee,
+                               frame, ctx, epoch, effects_shadow,
+                               tainted_shadow, effects)
+
+    def _referee_done(self, referee, frame: Microframe,  # noqa: ANN001
+                      ctx: SimExecutionContext, epoch: int,
+                      effects_shadow: list, tainted_shadow: bool,
+                      effects: Optional[list]) -> None:
+        if self.site.stopped:
+            return
+        tainted = False
+        if referee.stopped:
+            effects = None
+        elif effects is not None:
+            rpm = referee.processing_manager
+            if rpm._sdc_corrupter is not None:
+                tainted = rpm._sdc_corrupter.corrupt_effects(rpm._sdc_index,
+                                                             effects)
+        latency = self.kernel.shared.network.config.latency
+        self.kernel.call_later(latency, self._resolve, frame, ctx, epoch,
+                               effects_shadow, tainted_shadow, effects,
+                               tainted)
+
+    def _resolve(self, frame: Microframe, ctx: SimExecutionContext,
+                 epoch: int, effects_shadow: list, tainted_shadow: bool,
+                 effects_ref: Optional[list], tainted_ref: bool) -> None:
+        if self.site.stopped:
+            return
+        if epoch != self.site.epoch:
+            self._discard_stale(frame)
+            return
+        tainted_primary = getattr(ctx, "sdc_tainted", False)
+        if effects_ref is None:
+            # no third opinion available; the primary's word stands
+            chosen, tainted, winner = ctx.effects, tainted_primary, "primary"
+        else:
+            key_ref = effects_key(effects_ref)
+            if key_ref == effects_key(ctx.effects):
+                chosen, tainted, winner = (ctx.effects, tainted_primary,
+                                           "primary")
+            elif key_ref == effects_key(effects_shadow):
+                chosen, tainted, winner = (effects_shadow, tainted_shadow,
+                                           "shadow")
+            else:
+                # all three disagree: trust the referee, which ran outside
+                # both quarantined executions
+                chosen, tainted, winner = effects_ref, tainted_ref, "referee"
+        self.stats.inc("sdc_resolved")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.kernel.now, self.local_id, "sdc_resolved",
+                    frame.frame_id.pack(), winner)
+        self._commit_causal(frame, ctx, chosen, tainted)
 
     def _finish_slot(self, frame: Microframe) -> None:
         self.in_flight = max(0, self.in_flight - 1)

@@ -92,6 +92,27 @@ def take_push_batch(queue: Deque[Microframe], policy: str,
     return taken
 
 
+#: Knuth multiplicative-hash constant for replicate selection
+_REPLICATE_HASH = 2654435761
+
+
+def replicate_chosen(frame_key: int, frac: float) -> bool:
+    """Decide whether one microthread execution is replicated (the
+    silent-data-corruption defense, ``SchedulingConfig.replicate_frac``).
+
+    Selection is a deterministic hash of the frame's packed address, not
+    an RNG draw: the same frame makes the same choice on every site,
+    every retry, and every replay — and ``frac=0.0`` consumes zero
+    randomness, keeping replication-off runs bit-identical.
+    """
+    if frac <= 0.0:
+        return False
+    if frac >= 1.0:
+        return True
+    hashed = (frame_key * _REPLICATE_HASH) & 0xFFFFFFFF
+    return hashed < frac * 4294967296.0
+
+
 def _has_hints(queue: Deque[Microframe]) -> bool:
     return any(f.critical or f.priority > 0.0 for f in queue)
 

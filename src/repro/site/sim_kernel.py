@@ -33,6 +33,15 @@ class SharedSimState:
         #: logical site id -> SDVMSite, for facade inspection only
         self.sites: Dict[int, Any] = {}
 
+    def alive_peers(self, *exclude: int) -> list:
+        """Sorted logical ids of running sites outside ``exclude``.
+
+        Used by the SDC defense to place shadow executions: the sorted
+        order makes buddy selection a pure function of membership, so a
+        replicated run replays bit-identically.
+        """
+        return sorted(i for i in self.sites if i not in exclude)
+
 
 class SimKernel(Kernel):
     """Kernel backed by the discrete-event simulator."""

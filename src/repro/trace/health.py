@@ -1,6 +1,6 @@
 """Online health detectors over the ``sdvm-metrics/1`` snapshot stream.
 
-Five detector families, each targeting a failure class this repo has
+Six detector families, each targeting a failure class this repo has
 actually shipped a fix for (or that the chaos fuzzer forces):
 
 * **idle_stall** — a site sits idle for several intervals while the rest
@@ -17,6 +17,10 @@ actually shipped a fix for (or that the chaos fuzzer forces):
   consecutive intervals: a lost RECOVER_* control or a wedged coordinator.
 * **partition_suspect** — a live site keeps sending but receives nothing
   while the rest of the cluster exchanges traffic: one-sided reachability.
+* **sdc_mismatch** — a replicated microthread's shadow re-execution
+  diverged from its primary: silent data corruption (or a
+  nondeterministic microthread) caught before commit.  Any non-zero
+  count is anomalous, so this detector has no threshold knob.
 
 Detections fire **once per episode** (the condition must clear before the
 same detector re-fires for the same site), are recorded in order, and are
@@ -38,7 +42,7 @@ from repro.common.stats import Histogram
 
 #: every detector the monitor can fire, in report order
 DETECTORS = ("idle_stall", "steal_storm", "wave_stall",
-             "recovery_wedged", "partition_suspect")
+             "recovery_wedged", "partition_suspect", "sdc_mismatch")
 
 
 class Detection(NamedTuple):
@@ -186,6 +190,15 @@ class HealthMonitor:
             else:
                 self._deaf_streak[site] = 0
                 self._clear(site, "partition_suspect")
+
+            # sdc_mismatch: replica divergence — one is already too many
+            mismatches = row.get("sdc_mismatches", 0)
+            if mismatches > 0:
+                self._fire(t, site, "sdc_mismatch",
+                           f"{mismatches} replica mismatch(es) this "
+                           f"interval")
+            else:
+                self._clear(site, "sdc_mismatch")
 
     # ------------------------------------------------------------------
     # run-end verdict

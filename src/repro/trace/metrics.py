@@ -55,6 +55,7 @@ SAMPLE_FIELDS: Tuple[str, ...] = (
     "dir_entries",    # directory shard entries owned by this site
     "frames",         # microframes resident in the attraction memory
     "objects",        # shared objects resident in the attraction memory
+    "sdc_mismatches", # replica-divergence detections this interval
 )
 
 #: row fields that are flags/counts and must be non-negative integers
@@ -245,10 +246,11 @@ class MetricsSampler:
                 + msg_stats.get("local_messages").count)
         recv = (msg_stats.get("received").count
                 + msg_stats.get("local_messages").count)
+        sdc_mismatches = proc.stats.get("sdc_mismatches").count
 
-        prev = self._prev.get(index, (busy_total, 0, 0, 0, 0, 0, 0))
+        prev = self._prev.get(index, (busy_total, 0, 0, 0, 0, 0, 0, 0))
         self._prev[index] = (busy_total, help_sent, steals_in, steal_grants,
-                             cant_help, sent, recv)
+                             cant_help, sent, recv, sdc_mismatches)
         busy_frac = max(0.0, min((busy_total - prev[0]) / self.interval, 1.0))
 
         return {
@@ -275,6 +277,7 @@ class MetricsSampler:
             "dir_entries": len(mem.dir_entries),
             "frames": len(mem.frames),
             "objects": len(mem.objects),
+            "sdc_mismatches": int(sdc_mismatches - prev[7]),
         }
 
 

@@ -56,6 +56,15 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "recovery_done": ("epoch",),
     # fault injection (repro.chaos) — site is -1 (cluster-level event)
     "chaos_fault": ("fault", "detail"),
+    # silent-data-corruption defense (processing manager).  ``sdc_mismatch``
+    # fires when a replicated execution and its shadow disagree (``buddy``
+    # is the shadow's site); ``sdc_resolved`` names the tie-break winner;
+    # ``sdc_tainted_commit`` is the injector's ground-truth marker that a
+    # corrupted effect list dispatched (the no-corrupted-commit invariant
+    # audits for it)
+    "sdc_mismatch": ("frame", "buddy"),
+    "sdc_resolved": ("frame", "winner"),
+    "sdc_tainted_commit": ("frame",),
     # online health detectors (repro.trace.health) — ``site`` is the
     # offending site; ``detector`` is one of health.DETECTORS
     "health": ("detector", "detail"),

@@ -18,6 +18,7 @@ import pytest
 
 from repro.chaos import (
     ChaosController,
+    CorruptFault,
     CrashFault,
     FaultPlan,
     InvariantChecker,
@@ -35,6 +36,41 @@ from repro.common.errors import SDVMError
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
 CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+#: journal fingerprints of every replication-off corpus plan, pinned at
+#: the commit that introduced selective replication: the defense layer
+#: must be invisible (bit-for-bit) whenever ``replicate_frac == 0``
+PINNED_FINGERPRINTS = {
+    "coordinator_crash.json":
+        "9b8c8183631d876425ce8838a4877f5b26cc2d4eb942c5fd24462402d1b1ee94",
+    "crash_during_recovery.json":
+        "47a79715baede9d7e0bd1159c50295acf089446c33f056d1938fcf66310a01f9",
+    "crash_during_wave.json":
+        "49665ab7fcb8bc0378c0c934ddea442807eb032105ab5e28e8ef5f1ae13998a5",
+    "dir_shard_crash.json":
+        "b34d4e7116260beccc281fd8a55a13a19f51ce9bc8dc3aeeaa1694bf6b386d97",
+    "duplicate_delivery.json":
+        "8bc69d1b395bf59b8dec96ddfcc0748df9a67bca8c7a61932a31864d7480de07",
+    "lossy_recovery.json":
+        "280e428f3d959b7d1c3ec1667eb6b8a48c0bfb027d95353cd5b8ebe36a14098b",
+    "partition_then_heal.json":
+        "a943357d7a8d2357ed0665b7f242c008a0077730ae8e48d41754805af80ed7da",
+    "steal_batch_reorder.json":
+        "b5dbae0d9f9bab51de4d59f7ccef87cfe5610dbe1bb180bac40da30d4f1526b8",
+    "wave_stall.json":
+        "4213dbb74225dfefcda1dca700734976ecd4bc8382e1270e927a1d950d67589e",
+}
+
+_corpus_results = {}
+
+
+def corpus_result(path):
+    """Run one corpus plan at most once per session (results are shared
+    between the pass/fingerprint tests, which keeps the suite's corpus
+    cost where it was before fingerprint pinning)."""
+    if path not in _corpus_results:
+        _corpus_results[path] = run_plan(FaultPlan.load(path))
+    return _corpus_results[path]
 
 
 def corpus_plan(name):
@@ -87,6 +123,69 @@ class TestFaultPlan:
         shrunk = shrink_plan(plan, still_fails)
         assert shrunk.faults == [CrashFault(at=1.0, site=1)]
 
+    def test_unknown_fault_field_is_rejected_by_name(self):
+        """A typo'd field name used to be silently dropped — the plan
+        loaded fine and the fault fired with default values."""
+        blob = json.loads(random_plan(1).to_json())
+        blob["faults"] = [{"kind": "crash", "at": 1.0, "sites": 1}]
+        with pytest.raises(SDVMError, match="sites"):
+            FaultPlan.from_json(json.dumps(blob))
+
+    def test_window_fault_requires_start_before_end(self):
+        blob = json.loads(random_plan(1).to_json())
+        blob["faults"] = [{"kind": "link", "start": 0.9, "end": 0.5,
+                           "drop": 0.5}]
+        with pytest.raises(SDVMError, match="start"):
+            FaultPlan.from_json(json.dumps(blob))
+
+    def test_corrupt_fault_mode_is_validated(self):
+        blob = json.loads(random_plan(1).to_json())
+        blob["faults"] = [{"kind": "corrupt", "start": 0.1, "end": 0.5,
+                           "mode": "bogus"}]
+        with pytest.raises(SDVMError, match="mode"):
+            FaultPlan.from_json(json.dumps(blob))
+
+    def test_replicate_frac_range_is_validated(self):
+        with pytest.raises(SDVMError):
+            FaultPlan(nsites=2, replicate_frac=1.5).validate()
+
+    def test_corrupt_end_extends_the_drain_horizon(self):
+        """A late corruption window must not outlive the audit: the
+        drain bound has to cover every fault kind's ``end``."""
+        from repro.chaos.fuzz import _last_fault_time
+        plan = FaultPlan(nsites=2, faults=[
+            CrashFault(at=1.0, site=1),
+            CorruptFault(start=2.0, end=5.0, site=0)])
+        assert _last_fault_time(plan) == 5.0
+
+    def test_shrinker_preserves_corrupt_fault(self):
+        """Shrinking a corruption-induced failure must keep the
+        corruption fault (dropping it makes the failure vanish)."""
+        plan = FaultPlan(nsites=4, faults=[
+            CrashFault(at=1.0, site=1),
+            LinkFault(start=0.5, end=0.9, drop=0.5),
+            CorruptFault(start=0.3, end=0.8, site=2)])
+
+        def still_fails(candidate):
+            return any(f.kind == "corrupt" for f in candidate.faults)
+
+        shrunk = shrink_plan(plan, still_fails)
+        assert shrunk.faults == [CorruptFault(start=0.3, end=0.8, site=2)]
+
+    def test_corrupt_generator_extends_the_base_plan(self):
+        """``corrupt=False`` plans stay bit-identical per seed; the
+        corrupt variant appends one corruption window and arms full
+        replication."""
+        base = random_plan(5)
+        assert base == random_plan(5, corrupt=False)
+        corrupt = random_plan(5, corrupt=True)
+        extras = [f for f in corrupt.faults if f.kind == "corrupt"]
+        assert len(extras) == 1
+        assert [f for f in corrupt.faults if f.kind != "corrupt"] \
+            == base.faults
+        assert 0 <= extras[0].site < corrupt.nsites
+        assert corrupt.replicate_frac == 1.0
+
 
 class TestCorpus:
     def test_corpus_is_committed(self):
@@ -94,14 +193,34 @@ class TestCorpus:
         assert {"crash_during_wave.json", "crash_during_recovery.json",
                 "coordinator_crash.json", "partition_then_heal.json",
                 "duplicate_delivery.json", "lossy_recovery.json",
-                "steal_batch_reorder.json",
-                "dir_shard_crash.json"} <= names
+                "steal_batch_reorder.json", "dir_shard_crash.json",
+                "sdc_detected.json"} <= names
+        # the undefended twin fails by design, so it lives in a
+        # subdirectory the corpus glob (and ``chaos corpus``) skip
+        assert os.path.exists(os.path.join(
+            CORPUS_DIR, "expected_fail", "sdc_undefended.json"))
 
     @pytest.mark.parametrize(
         "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
     def test_corpus_plan_passes(self, path):
-        result = run_plan(FaultPlan.load(path))
+        result = corpus_result(path)
         assert result.ok, [str(v) for v in result.violations]
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in CORPUS
+         if os.path.basename(p) in PINNED_FINGERPRINTS],
+        ids=[os.path.basename(p) for p in CORPUS
+             if os.path.basename(p) in PINNED_FINGERPRINTS])
+    def test_replication_off_fingerprints_are_pinned(self, path):
+        """The SDC defense must be bit-invisible when replication is off:
+        every pre-replication corpus plan replays to the exact journal
+        fingerprint it had before the feature landed."""
+        plan = FaultPlan.load(path)
+        assert plan.replicate_frac == 0.0
+        result = corpus_result(path)
+        assert result.fingerprint == PINNED_FINGERPRINTS[
+            os.path.basename(path)]
 
     def test_replay_is_bit_deterministic(self):
         first, second = verify_determinism(corpus_plan("crash_during_wave"))
@@ -163,6 +282,77 @@ class TestCorpus:
         assert result.ok, [str(v) for v in result.violations]
         assert result.cluster.network_stats().get(
             "chaos_duplicated").count > 0
+
+
+class TestSilentDataCorruption:
+    def test_detected_plan_has_exact_accounting(self):
+        """Replication on + corruption: the run completes correctly and
+        every injected corruption of a replicated thread produces exactly
+        one mismatch detection and one tie-break resolution — and no
+        tainted effect ever commits."""
+        result = corpus_result(
+            os.path.join(CORPUS_DIR, "sdc_detected.json"))
+        assert result.ok, [str(v) for v in result.violations]
+        kinds = result.cluster.tracer.kinds()
+        corruptions = sum(
+            1 for e in result.cluster.tracer.events
+            if e.kind == "chaos_fault" and e.fields[0] == "corrupt_result")
+        assert corruptions > 0
+        assert kinds.get("sdc_mismatch") == corruptions
+        assert kinds.get("sdc_resolved") == corruptions
+        assert kinds.get("sdc_tainted_commit", 0) == 0
+
+    def test_undefended_plan_is_flagged_by_the_invariant(self):
+        """Replication off: the same corruption window silently commits
+        flipped values, and the journal-driven invariant catches it."""
+        path = os.path.join(CORPUS_DIR, "expected_fail",
+                            "sdc_undefended.json")
+        result = run_plan(FaultPlan.load(path))
+        assert not result.ok
+        assert "sdc_commit" in {v.invariant for v in result.violations}
+
+    def test_param_corruption_fires_on_the_wire(self):
+        """Wire-mode corruption: APPLY_RESULT payloads get flipped in
+        flight (journal shows it) and the run is still deterministic."""
+        plan = FaultPlan(seed=3, nsites=4, name="param", faults=[
+            CorruptFault(start=0.3, end=0.5, site=1, mode="param",
+                         prob=0.5)])
+        result = run_plan(plan)
+        kinds = [e.fields[0] for e in result.cluster.tracer.events
+                 if e.kind == "chaos_fault"]
+        assert "corrupt_param" in kinds
+        assert run_plan(plan).fingerprint == result.fingerprint
+
+    def test_replicate_chosen_is_deterministic_and_scales(self):
+        from repro.sched.policies import replicate_chosen
+        keys = list(range(10_000))
+        chosen = [k for k in keys if replicate_chosen(k, 0.25)]
+        assert chosen == [k for k in keys if replicate_chosen(k, 0.25)]
+        # roughly frac of the keyspace, and monotone in frac
+        assert 0.15 < len(chosen) / len(keys) < 0.35
+        assert all(replicate_chosen(k, 1.0) for k in keys[:100])
+        assert not any(replicate_chosen(k, 0.0) for k in keys[:100])
+        half = {k for k in keys if replicate_chosen(k, 0.5)}
+        assert set(chosen) <= half
+
+    def test_record_replay_contexts_round_trip(self):
+        """A shadow fed the primary's oplog + argument snapshot observes
+        identical primitive-op results and argument values."""
+        from repro.proc.sim_context import ReplaySimContext
+        oplog = ["addr-1", 42, b"data"]
+
+        class _Frame:
+            def arguments(self):
+                return [1, {"x": 2}]
+        replay = ReplaySimContext.__new__(ReplaySimContext)
+        replay._oplog = list(oplog)
+        replay._cursor = 0
+        assert replay._op_alloc_frame_address() == "addr-1"
+        assert replay._op_read("anything") == 42
+        assert replay._op_file_read("h", 10) == b"data"
+        from repro.common.errors import ProgramError
+        with pytest.raises(ProgramError):
+            replay._replay()
 
 
 class TestInjection:

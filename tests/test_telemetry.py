@@ -250,7 +250,8 @@ class TestHealthDetectors:
 
     def test_detector_names_are_stable(self):
         assert DETECTORS == ("idle_stall", "steal_storm", "wave_stall",
-                             "recovery_wedged", "partition_suspect")
+                             "recovery_wedged", "partition_suspect",
+                             "sdc_mismatch")
 
     def test_idle_stall_fires_once_per_episode(self):
         monitor = self.monitor()
